@@ -1,0 +1,112 @@
+// Command datagen generates the synthetic datasets of the paper's
+// evaluation section as CSV files: the named catalogue datasets
+// (6d..18d, 50k..250k, 5c..25c, 5d_s..30d_s, 5o..25o and the rotated
+// *_r variants), the KDD Cup 2008 surrogate views, or a custom dataset.
+//
+// Usage:
+//
+//	datagen -name 14d -out 14d.csv [-labels 14d_labels.csv] [-scale 1.0]
+//	datagen -kdd left-MLO -out kdd.csv [-labels kdd_labels.csv]
+//	datagen -list
+//	datagen -custom -dims 10 -points 50000 -clusters 5 -noise 0.15 -out c.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"mrcc/internal/dataset"
+	"mrcc/internal/synthetic"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "", "catalogue dataset name (see -list)")
+		kdd      = flag.String("kdd", "", "KDD surrogate view: left-CC, left-MLO, right-CC, right-MLO")
+		list     = flag.Bool("list", false, "list the catalogue dataset names and exit")
+		out      = flag.String("out", "", "output CSV file (required unless -list)")
+		labels   = flag.String("labels", "", "also write ground-truth labels to this file")
+		scale    = flag.Float64("scale", 1.0, "scale the dataset's point count")
+		custom   = flag.Bool("custom", false, "generate a custom dataset instead of a named one")
+		dims     = flag.Int("dims", 10, "custom: dimensionality")
+		points   = flag.Int("points", 10000, "custom: number of points")
+		clusters = flag.Int("clusters", 5, "custom: number of clusters")
+		noise    = flag.Float64("noise", 0.15, "custom: noise fraction")
+		minDim   = flag.Int("mindim", 5, "custom: minimum cluster dimensionality")
+		maxDim   = flag.Int("maxdim", 17, "custom: maximum cluster dimensionality")
+		rot      = flag.Int("rotations", 0, "custom: random plane rotations to apply")
+		seed     = flag.Int64("seed", 1, "custom: random seed")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range synthetic.CatalogueNames() {
+			cfg, _ := synthetic.CatalogueConfig(n)
+			fmt.Printf("%-8s d=%-3d points=%-7d clusters=%-3d noise=%.0f%% rotations=%d\n",
+				n, cfg.Dims, cfg.Points, cfg.Clusters, cfg.NoiseFrac*100, cfg.Rotations)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, gt, err := generate(*name, *kdd, *custom, *scale, synthetic.Config{
+		Dims: *dims, Points: *points, Clusters: *clusters, NoiseFrac: *noise,
+		MinClusterDim: *minDim, MaxClusterDim: *maxDim, Rotations: *rot, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := ds.SaveCSVFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if *labels != "" {
+		if err := writeLabels(*labels, gt.Labels); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d points x %d axes to %s\n", ds.Len(), ds.Dims, *out)
+}
+
+func generate(name, kdd string, custom bool, scale float64, customCfg synthetic.Config) (*dataset.Dataset, *synthetic.GroundTruth, error) {
+	switch {
+	case kdd != "":
+		cfg := synthetic.KDDConfig{Seed: 2008}
+		cfg.ROIs = int(25575 * scale)
+		ds, gt, err := synthetic.KDDCup2008Surrogate(synthetic.KDDView(kdd), cfg)
+		return ds, gt, err
+	case custom:
+		return synthetic.Generate(customCfg)
+	case name != "":
+		cfg, err := synthetic.CatalogueConfig(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if scale != 1.0 {
+			cfg = cfg.Scale(scale)
+		}
+		return synthetic.Generate(cfg)
+	default:
+		return nil, nil, fmt.Errorf("one of -name, -kdd or -custom is required")
+	}
+}
+
+func writeLabels(path string, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, l := range labels {
+		if _, err := f.WriteString(strconv.Itoa(l) + "\n"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"mrcc/internal/synthetic"
+)
+
+func TestGenerateCatalogue(t *testing.T) {
+	ds, gt, err := generate("6d", "", false, 0.05, synthetic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 || len(gt.Labels) != ds.Len() {
+		t.Fatalf("shape n=%d labels=%d", ds.Len(), len(gt.Labels))
+	}
+	if ds.Dims != 6 {
+		t.Errorf("dims = %d, want 6", ds.Dims)
+	}
+}
+
+func TestGenerateKDD(t *testing.T) {
+	ds, gt, err := generate("", "left-MLO", false, 0.02, synthetic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dims != 25 {
+		t.Errorf("dims = %d, want 25", ds.Dims)
+	}
+	malignant := 0
+	for _, l := range gt.Labels {
+		if l == 1 {
+			malignant++
+		}
+	}
+	if malignant == 0 {
+		t.Error("surrogate has no malignant ROIs")
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	cfg := synthetic.Config{
+		Dims: 7, Points: 1000, Clusters: 2, NoiseFrac: 0.1,
+		MinClusterDim: 3, MaxClusterDim: 5, Seed: 1,
+	}
+	ds, _, err := generate("", "", true, 1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1000 || ds.Dims != 7 {
+		t.Errorf("shape d=%d n=%d", ds.Dims, ds.Len())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := generate("", "", false, 1.0, synthetic.Config{}); err == nil {
+		t.Error("no source selected but accepted")
+	}
+	if _, _, err := generate("bogus", "", false, 1.0, synthetic.Config{}); err == nil {
+		t.Error("unknown catalogue name accepted")
+	}
+	if _, _, err := generate("", "upside-down", false, 1.0, synthetic.Config{}); err == nil {
+		t.Error("unknown KDD view accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mrcc"
+)
+
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	ds := mrcc.NewDataset(5, 0)
+	for i := 0; i < 800; i++ {
+		ds.Append([]float64{
+			0.2 + 0.02*rng.NormFloat64(),
+			0.3 + 0.02*rng.NormFloat64(),
+			0.2 + 0.02*rng.NormFloat64(),
+			rng.Float64(), rng.Float64(),
+		})
+	}
+	for i := 0; i < 200; i++ {
+		ds.Append([]float64{
+			rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(),
+		})
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := ds.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTextAndLabels(t *testing.T) {
+	in := writeTestCSV(t)
+	out := filepath.Join(filepath.Dir(in), "labels.csv")
+	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, out, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1000 {
+		t.Fatalf("wrote %d labels, want 1000", len(lines))
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	in := writeTestCSV(t)
+	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent/file.csv", false, 1e-10, 4, "", false); err == nil {
+		t.Error("missing input accepted")
+	}
+	in := writeTestCSV(t)
+	if err := run(in, false, 2.0, 4, "", false); err == nil {
+		t.Error("invalid alpha accepted")
+	}
+	if err := run(in, false, 1e-10, 1, "", false); err == nil {
+		t.Error("invalid H accepted")
+	}
+}

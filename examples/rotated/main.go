@@ -1,0 +1,58 @@
+// Rotated subspaces: the motivation of Figures 1c/1d of the paper.
+//
+// Clusters rarely align with the recorded axes — sensor readings are
+// correlated, so a cluster may live in a plane spanned by linear
+// combinations of the original axes. MrCC detects density, not axis
+// alignment, so rotating the dataset barely moves its Quality (the paper
+// measures at most a 5 % drop, Figure 5p). This example clusters the
+// same dataset unrotated and rotated and prints both scores.
+//
+// Run with: go run ./examples/rotated
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrcc"
+	"mrcc/internal/eval"
+	"mrcc/internal/synthetic"
+)
+
+func main() {
+	base := synthetic.Config{
+		Dims: 12, Points: 15000, Clusters: 4, NoiseFrac: 0.15,
+		MinClusterDim: 7, MaxClusterDim: 10, Seed: 7,
+	}
+	for _, rotations := range []int{0, 4} {
+		cfg := base
+		cfg.Rotations = rotations
+		ds, gt, err := synthetic.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mrcc.RunNormalized(ds, mrcc.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := make([][]bool, len(res.Clusters))
+		for i, c := range res.Clusters {
+			rel[i] = c.Relevant
+		}
+		rep, err := eval.Compare(
+			&eval.Clustering{Labels: res.Labels, Relevant: rel},
+			&eval.Clustering{Labels: gt.Labels, Relevant: gt.Relevant},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "axis-aligned"
+		if rotations > 0 {
+			label = fmt.Sprintf("rotated %dx  ", rotations)
+		}
+		fmt.Printf("%s: %d clusters found (4 real), Quality %.3f\n",
+			label, res.NumClusters(), rep.Quality)
+	}
+	fmt.Println("\nrotation mixes the relevant axes, so the reported subspaces change,")
+	fmt.Println("but the point memberships — what Quality measures — survive.")
+}

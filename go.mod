@@ -1,0 +1,3 @@
+module mrcc
+
+go 1.22

@@ -1,0 +1,14 @@
+package baselines
+
+import "testing"
+
+func TestResultNumClusters(t *testing.T) {
+	r := &Result{Labels: []int{Noise, 0, 3, 1}}
+	if got := r.NumClusters(); got != 4 {
+		t.Errorf("NumClusters = %d, want 4", got)
+	}
+	empty := &Result{Labels: []int{Noise, Noise}}
+	if got := empty.NumClusters(); got != 0 {
+		t.Errorf("NumClusters = %d, want 0", got)
+	}
+}

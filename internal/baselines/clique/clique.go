@@ -1,0 +1,447 @@
+// Package clique implements CLIQUE (Agrawal, Gehrke, Gunopulos,
+// Raghavan: "Automatic subspace clustering of high dimensional data for
+// data mining applications", SIGMOD 1998) — the founding bottom-up grid
+// method of the paper's Related Work, included as an extra baseline.
+//
+// CLIQUE partitions every axis into Xi equal intervals, keeps the units
+// whose density exceeds Tau, grows dense units into higher-dimensional
+// subspaces Apriori-style, selects the interesting subspaces by MDL over
+// their coverage, and reports the connected components of dense units in
+// each selected subspace as clusters. Its candidate generation scales
+// exponentially with subspace dimensionality — the drawback Section II
+// of the MrCC paper calls out — so MaxSubspaceDim caps the growth.
+package clique
+
+import (
+	"fmt"
+	"sort"
+
+	"mrcc/internal/baselines"
+	"mrcc/internal/dataset"
+	"mrcc/internal/mdl"
+)
+
+// Config controls a CLIQUE run.
+type Config struct {
+	// Xi is the number of grid intervals per axis (default 10).
+	Xi int
+	// Tau is the density threshold: a unit is dense when it holds at
+	// least Tau·η points (default 0.01).
+	Tau float64
+	// MaxSubspaceDim caps the Apriori growth (default 4).
+	MaxSubspaceDim int
+	// MaxUnits caps the number of dense units carried between levels,
+	// keeping the exponential growth bounded (default 10000).
+	MaxUnits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Xi == 0 {
+		c.Xi = 8
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.02
+	}
+	if c.MaxSubspaceDim == 0 {
+		c.MaxSubspaceDim = 5
+	}
+	if c.MaxUnits == 0 {
+		c.MaxUnits = 10000
+	}
+	return c
+}
+
+// unit is one dense grid cell of a subspace: parallel slices of axes
+// (ascending) and the interval index on each.
+type unit struct {
+	axes      []int
+	intervals []int
+	support   int
+}
+
+func (u *unit) key() string {
+	b := make([]byte, 0, 4*len(u.axes))
+	for i := range u.axes {
+		b = append(b, byte(u.axes[i]), byte(u.axes[i]>>8), byte(u.intervals[i]), byte(u.intervals[i]>>8))
+	}
+	return string(b)
+}
+
+// contains reports whether point p falls inside the unit.
+func (u *unit) contains(p []float64, xi int) bool {
+	for i, axis := range u.axes {
+		b := int(p[axis] * float64(xi))
+		if b >= xi {
+			b = xi - 1
+		}
+		if b != u.intervals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes CLIQUE over a normalized dataset.
+func Run(ds *dataset.Dataset, cfg Config) (*baselines.Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Xi < 2 {
+		return nil, fmt.Errorf("clique: Xi must be >= 2, got %d", cfg.Xi)
+	}
+	if cfg.Tau <= 0 || cfg.Tau >= 1 {
+		return nil, fmt.Errorf("clique: Tau must be in (0,1), got %g", cfg.Tau)
+	}
+	if cfg.MaxSubspaceDim < 1 {
+		return nil, fmt.Errorf("clique: MaxSubspaceDim must be >= 1, got %d", cfg.MaxSubspaceDim)
+	}
+	n := ds.Len()
+	minSupport := int(cfg.Tau * float64(n))
+	if minSupport < 1 {
+		minSupport = 1
+	}
+
+	// Level 1: dense 1-dimensional units.
+	level := denseOneDimUnits(ds, cfg.Xi, minSupport)
+	byLevel := [][]unit{level}
+	for dim := 2; dim <= cfg.MaxSubspaceDim && len(level) > 1; dim++ {
+		level = growLevel(ds, level, cfg, minSupport)
+		if len(level) == 0 {
+			break
+		}
+		byLevel = append(byLevel, level)
+	}
+
+	// Keep, per subspace, only the highest-dimensional dense units, and
+	// select the interesting subspaces by MDL over their coverage.
+	subspaces := groupBySubspace(byLevel)
+	selected := selectSubspaces(subspaces)
+
+	// Clusters: connected components of dense units inside each selected
+	// subspace. Components from different subspaces of one real cluster
+	// cover largely the same points, so components whose memberships
+	// substantially overlap are merged (largest, highest-dimensional
+	// first) before points are labeled.
+	type component struct {
+		axes    []bool
+		dim     int
+		members []int
+	}
+	var comps []component
+	sort.Slice(selected, func(a, b int) bool {
+		if len(selected[a].units[0].axes) != len(selected[b].units[0].axes) {
+			return len(selected[a].units[0].axes) > len(selected[b].units[0].axes)
+		}
+		return selected[a].coverage > selected[b].coverage
+	})
+	for _, sub := range selected {
+		for _, comp := range connectedComponents(sub.units) {
+			c := component{axes: make([]bool, ds.Dims), dim: len(comp[0].axes)}
+			for _, a := range comp[0].axes {
+				c.axes[a] = true
+			}
+			for i, p := range ds.Points {
+				for _, u := range comp {
+					if u.contains(p, cfg.Xi) {
+						c.members = append(c.members, i)
+						break
+					}
+				}
+			}
+			if len(c.members) >= minSupport {
+				comps = append(comps, c)
+			}
+		}
+	}
+	// Specific (high-dimensional) components seed clusters; broad 1-d
+	// components only top them up, so they must come last.
+	sort.SliceStable(comps, func(a, b int) bool {
+		if comps[a].dim != comps[b].dim {
+			return comps[a].dim > comps[b].dim
+		}
+		return len(comps[a].members) > len(comps[b].members)
+	})
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = baselines.Noise
+	}
+	var rel [][]bool
+	for _, c := range comps {
+		// Count how this component's members are already labeled.
+		overlap := make(map[int]int)
+		unclaimed := 0
+		for _, pi := range c.members {
+			if labels[pi] == baselines.Noise {
+				unclaimed++
+			} else {
+				overlap[labels[pi]]++
+			}
+		}
+		bestID, bestOv := -1, 0
+		for id, ov := range overlap {
+			if ov > bestOv {
+				bestID, bestOv = id, ov
+			}
+		}
+		if bestID >= 0 && float64(bestOv) >= 0.5*float64(len(c.members)) {
+			// Same real cluster seen through another subspace: merge.
+			for _, pi := range c.members {
+				if labels[pi] == baselines.Noise {
+					labels[pi] = bestID
+				}
+			}
+			for j, a := range c.axes {
+				if a {
+					rel[bestID][j] = true
+				}
+			}
+			continue
+		}
+		if unclaimed < minSupport {
+			continue
+		}
+		id := len(rel)
+		for _, pi := range c.members {
+			if labels[pi] == baselines.Noise {
+				labels[pi] = id
+			}
+		}
+		rel = append(rel, c.axes)
+	}
+	return &baselines.Result{Labels: labels, Relevant: rel}, nil
+}
+
+// denseOneDimUnits builds the level-1 dense units.
+func denseOneDimUnits(ds *dataset.Dataset, xi, minSupport int) []unit {
+	counts := make([][]int, ds.Dims)
+	for j := range counts {
+		counts[j] = make([]int, xi)
+	}
+	for _, p := range ds.Points {
+		for j, v := range p {
+			b := int(v * float64(xi))
+			if b >= xi {
+				b = xi - 1
+			}
+			counts[j][b]++
+		}
+	}
+	var units []unit
+	for j := range counts {
+		for b, c := range counts[j] {
+			if c >= minSupport {
+				units = append(units, unit{axes: []int{j}, intervals: []int{b}, support: c})
+			}
+		}
+	}
+	return units
+}
+
+// growLevel joins (k-1)-dimensional dense units sharing a (k-2)-prefix
+// into k-dimensional candidates, prunes by the Apriori property, counts
+// supports in one data pass and keeps the dense ones.
+func growLevel(ds *dataset.Dataset, prev []unit, cfg Config, minSupport int) []unit {
+	prevKeys := make(map[string]bool, len(prev))
+	for i := range prev {
+		prevKeys[prev[i].key()] = true
+	}
+	seen := make(map[string]int) // candidate key -> index
+	var cands []unit
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			c, ok := join(&prev[i], &prev[j])
+			if !ok {
+				continue
+			}
+			k := c.key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			if !aprioriHolds(&c, prevKeys) {
+				continue
+			}
+			seen[k] = len(cands)
+			cands = append(cands, c)
+			if len(cands) >= cfg.MaxUnits {
+				break
+			}
+		}
+		if len(cands) >= cfg.MaxUnits {
+			break
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	for _, p := range ds.Points {
+		for ci := range cands {
+			if cands[ci].contains(p, cfg.Xi) {
+				cands[ci].support++
+			}
+		}
+	}
+	var out []unit
+	for _, c := range cands {
+		if c.support >= minSupport {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// join combines two units sharing all but their last axis.
+func join(a, b *unit) (unit, bool) {
+	k := len(a.axes)
+	for i := 0; i < k-1; i++ {
+		if a.axes[i] != b.axes[i] || a.intervals[i] != b.intervals[i] {
+			return unit{}, false
+		}
+	}
+	if a.axes[k-1] >= b.axes[k-1] {
+		return unit{}, false // keep axes ascending and joins unique
+	}
+	axes := append(append([]int(nil), a.axes...), b.axes[k-1])
+	ivs := append(append([]int(nil), a.intervals...), b.intervals[k-1])
+	return unit{axes: axes, intervals: ivs}, true
+}
+
+// aprioriHolds checks every (k-1)-dimensional projection of c is dense.
+func aprioriHolds(c *unit, prevKeys map[string]bool) bool {
+	k := len(c.axes)
+	sub := unit{axes: make([]int, k-1), intervals: make([]int, k-1)}
+	for drop := 0; drop < k; drop++ {
+		idx := 0
+		for i := 0; i < k; i++ {
+			if i == drop {
+				continue
+			}
+			sub.axes[idx] = c.axes[i]
+			sub.intervals[idx] = c.intervals[i]
+			idx++
+		}
+		if !prevKeys[sub.key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// subspace groups the dense units sharing an axis set.
+type subspace struct {
+	units    []unit
+	coverage float64 // total support of its dense units
+}
+
+func groupBySubspace(byLevel [][]unit) []subspace {
+	groups := make(map[string]*subspace)
+	for _, level := range byLevel {
+		for _, u := range level {
+			key := axesKey(u.axes)
+			g, ok := groups[key]
+			if !ok {
+				g = &subspace{}
+				groups[key] = g
+			}
+			g.units = append(g.units, u)
+			g.coverage += float64(u.support)
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]subspace, 0, len(groups))
+	for _, k := range keys {
+		out = append(out, *groups[k])
+	}
+	return out
+}
+
+func axesKey(axes []int) string {
+	b := make([]byte, 0, 2*len(axes))
+	for _, a := range axes {
+		b = append(b, byte(a), byte(a>>8))
+	}
+	return string(b)
+}
+
+// selectSubspaces applies CLIQUE's MDL pruning: subspaces are sorted by
+// coverage and the MDL cut keeps the high-coverage group.
+func selectSubspaces(subs []subspace) []subspace {
+	if len(subs) <= 1 {
+		return subs
+	}
+	cov := make([]float64, len(subs))
+	for i, s := range subs {
+		cov[i] = s.coverage
+	}
+	sorted := append([]float64(nil), cov...)
+	sort.Float64s(sorted)
+	threshold := mdl.Threshold(sorted)
+	var out []subspace
+	for i, s := range subs {
+		if cov[i] >= threshold {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// connectedComponents groups units of one subspace whose intervals are
+// adjacent (differ by one step on exactly one axis).
+func connectedComponents(units []unit) [][]unit {
+	n := len(units)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	adjacent := func(a, b *unit) bool {
+		diff := 0
+		for i := range a.intervals {
+			d := a.intervals[i] - b.intervals[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				return false
+			}
+			if d == 1 {
+				diff++
+			}
+		}
+		return diff == 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if adjacent(&units[i], &units[j]) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[rj] = ri
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]unit)
+	for i := range units {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], units[i])
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]unit, 0, len(byRoot))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

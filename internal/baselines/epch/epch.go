@@ -1,0 +1,338 @@
+// Package epch implements EPCH — projective clustering by histograms
+// (Ng, Fu, Wong: "Projective clustering by histograms", TKDE 2005), one
+// of the paper's five competitors.
+//
+// EPCH builds lower-dimensional histograms over the data space, locates
+// dense regions in each histogram, condenses every point into a
+// signature recording which dense regions it belongs to, and merges
+// similar signatures into at most MaxClusters clusters. The maximum
+// number of clusters is a required input, exactly as the paper reports.
+package epch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrcc/internal/baselines"
+	"mrcc/internal/dataset"
+)
+
+// Config controls an EPCH run.
+type Config struct {
+	// MaxClusters is the maximum number of clusters to report (the
+	// paper supplies the true number).
+	MaxClusters int
+	// HistDim is the dimensionality of the histograms (the paper tunes
+	// 1..5; 1 and 2 are the practical settings). Defaults to 1.
+	HistDim int
+	// Bins is the number of bins per axis in each histogram (default 20).
+	Bins int
+	// DenseSigma marks a bin dense when its count exceeds
+	// mean + DenseSigma·stddev of its histogram (default 2).
+	DenseSigma float64
+	// MergeSimilarity is the minimum Jaccard similarity between
+	// signatures for merging (default 0.5).
+	MergeSimilarity float64
+	// OutlierFrac discards clusters holding less than this fraction of
+	// the points as outliers (default 0.001).
+	OutlierFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HistDim == 0 {
+		c.HistDim = 1
+	}
+	if c.Bins == 0 {
+		c.Bins = 20
+	}
+	if c.DenseSigma == 0 {
+		c.DenseSigma = 2
+	}
+	if c.MergeSimilarity == 0 {
+		c.MergeSimilarity = 0.5
+	}
+	if c.OutlierFrac == 0 {
+		c.OutlierFrac = 0.001
+	}
+	return c
+}
+
+// region is one connected dense region of one histogram.
+type region struct {
+	axes []int        // the subspace of the histogram
+	bins map[int]bool // flattened dense bin indices
+}
+
+// Run executes EPCH over a normalized dataset.
+func Run(ds *dataset.Dataset, cfg Config) (*baselines.Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxClusters < 1 {
+		return nil, fmt.Errorf("epch: MaxClusters must be >= 1, got %d", cfg.MaxClusters)
+	}
+	if cfg.HistDim < 1 || cfg.HistDim > 3 {
+		return nil, fmt.Errorf("epch: HistDim must be 1..3, got %d", cfg.HistDim)
+	}
+	if cfg.HistDim > ds.Dims {
+		return nil, fmt.Errorf("epch: HistDim %d exceeds dimensionality %d", cfg.HistDim, ds.Dims)
+	}
+	n := ds.Len()
+	regions := denseRegions(ds, cfg)
+
+	// Signature per point: the set of dense regions containing it.
+	signatures := make([][]int32, n)
+	for ri, r := range regions {
+		for i, p := range ds.Points {
+			if r.contains(p, cfg.Bins) {
+				signatures[i] = append(signatures[i], int32(ri))
+			}
+		}
+	}
+
+	// Group identical signatures.
+	groups := make(map[string][]int)
+	for i, sig := range signatures {
+		groups[sigKey(sig)] = append(groups[sigKey(sig)], i)
+	}
+	type sigGroup struct {
+		sig    []int32
+		points []int
+	}
+	var ordered []sigGroup
+	for _, pts := range groups {
+		if len(signatures[pts[0]]) == 0 {
+			continue // empty signature: outliers
+		}
+		ordered = append(ordered, sigGroup{signatures[pts[0]], pts})
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if len(ordered[a].points) != len(ordered[b].points) {
+			return len(ordered[a].points) > len(ordered[b].points)
+		}
+		return sigKey(ordered[a].sig) < sigKey(ordered[b].sig)
+	})
+
+	// Greedy merge: each group joins the first cluster whose signature
+	// is Jaccard-similar enough, otherwise founds a new cluster.
+	type cluster struct {
+		sig    map[int32]bool
+		points []int
+	}
+	var clusters []*cluster
+	for _, g := range ordered {
+		placed := false
+		for _, c := range clusters {
+			if jaccard(g.sig, c.sig) >= cfg.MergeSimilarity {
+				for _, r := range g.sig {
+					c.sig[r] = true
+				}
+				c.points = append(c.points, g.points...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			set := make(map[int32]bool, len(g.sig))
+			for _, r := range g.sig {
+				set[r] = true
+			}
+			clusters = append(clusters, &cluster{sig: set, points: g.points})
+		}
+	}
+	sort.Slice(clusters, func(a, b int) bool { return len(clusters[a].points) > len(clusters[b].points) })
+
+	minPts := int(cfg.OutlierFrac * float64(n))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = baselines.Noise
+	}
+	var rel [][]bool
+	id := 0
+	for _, c := range clusters {
+		if id >= cfg.MaxClusters || len(c.points) < minPts {
+			break
+		}
+		axes := make([]bool, ds.Dims)
+		for r := range c.sig {
+			for _, j := range regions[r].axes {
+				axes[j] = true
+			}
+		}
+		for _, i := range c.points {
+			labels[i] = id
+		}
+		rel = append(rel, axes)
+		id++
+	}
+	return &baselines.Result{Labels: labels, Relevant: rel}, nil
+}
+
+// denseRegions builds every HistDim-dimensional histogram and extracts
+// its connected dense regions.
+func denseRegions(ds *dataset.Dataset, cfg Config) []region {
+	var regions []region
+	for _, axes := range combinations(ds.Dims, cfg.HistDim) {
+		counts := histogram(ds, axes, cfg.Bins)
+		dense := denseBins(counts, cfg.DenseSigma)
+		regions = append(regions, connect(axes, dense, cfg.Bins)...)
+	}
+	return regions
+}
+
+// histogram counts points in the equi-width grid over the subspace.
+func histogram(ds *dataset.Dataset, axes []int, bins int) []int {
+	size := 1
+	for range axes {
+		size *= bins
+	}
+	counts := make([]int, size)
+	for _, p := range ds.Points {
+		counts[binIndex(p, axes, bins)]++
+	}
+	return counts
+}
+
+func binIndex(p []float64, axes []int, bins int) int {
+	idx := 0
+	for _, j := range axes {
+		b := int(p[j] * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		idx = idx*bins + b
+	}
+	return idx
+}
+
+// denseBins flags bins whose count exceeds mean + sigma·stddev.
+func denseBins(counts []int, sigma float64) map[int]bool {
+	mean := 0.0
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	variance := 0.0
+	for _, c := range counts {
+		diff := float64(c) - mean
+		variance += diff * diff
+	}
+	variance /= float64(len(counts))
+	threshold := mean + sigma*math.Sqrt(variance)
+	dense := make(map[int]bool)
+	for i, c := range counts {
+		if float64(c) > threshold && c > 0 {
+			dense[i] = true
+		}
+	}
+	return dense
+}
+
+// connect groups adjacent dense bins into regions via BFS over the grid.
+func connect(axes []int, dense map[int]bool, bins int) []region {
+	visited := make(map[int]bool)
+	var regions []region
+	// Deterministic iteration order.
+	keys := make([]int, 0, len(dense))
+	for b := range dense {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	hd := len(axes)
+	for _, start := range keys {
+		if visited[start] {
+			continue
+		}
+		r := region{axes: axes, bins: make(map[int]bool)}
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			b := queue[0]
+			queue = queue[1:]
+			r.bins[b] = true
+			// Neighbors differ by ±1 in exactly one grid coordinate.
+			coord := make([]int, hd)
+			rem := b
+			for a := hd - 1; a >= 0; a-- {
+				coord[a] = rem % bins
+				rem /= bins
+			}
+			for a := 0; a < hd; a++ {
+				for _, delta := range [2]int{-1, 1} {
+					nc := coord[a] + delta
+					if nc < 0 || nc >= bins {
+						continue
+					}
+					nb := 0
+					for x := 0; x < hd; x++ {
+						v := coord[x]
+						if x == a {
+							v = nc
+						}
+						nb = nb*bins + v
+					}
+					if dense[nb] && !visited[nb] {
+						visited[nb] = true
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+		regions = append(regions, r)
+	}
+	return regions
+}
+
+func (r *region) contains(p []float64, bins int) bool {
+	return r.bins[binIndex(p, r.axes, bins)]
+}
+
+// combinations enumerates all size-k subsets of {0..d-1} in order.
+func combinations(d, k int) [][]int {
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		i := k - 1
+		for i >= 0 && idx[i] == d-k+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for x := i + 1; x < k; x++ {
+			idx[x] = idx[x-1] + 1
+		}
+	}
+}
+
+func sigKey(sig []int32) string {
+	b := make([]byte, 0, len(sig)*4)
+	for _, s := range sig {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+func jaccard(sig []int32, set map[int32]bool) float64 {
+	if len(sig) == 0 && len(set) == 0 {
+		return 1
+	}
+	inter := 0
+	for _, s := range sig {
+		if set[s] {
+			inter++
+		}
+	}
+	union := len(sig) + len(set) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,273 @@
+// Package orclus implements ORCLUS (Aggarwal, Yu: "Redefining clustering
+// for high-dimensional applications", TKDE 2002) — generalized projected
+// clustering in arbitrarily-oriented subspaces, from the paper's Related
+// Work, included as an extra baseline.
+//
+// ORCLUS starts from k0 > k seeds and alternates three steps while
+// shrinking both the cluster count (towards K) and the subspace
+// dimensionality (towards L): assign each point to the nearest seed in
+// the seed's current subspace; recompute each cluster's subspace as the
+// eigenvectors of its covariance matrix with the *smallest* eigenvalues
+// (the directions in which the cluster is tightest); merge the pair of
+// clusters with the least merged projected energy.
+package orclus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mrcc/internal/baselines"
+	"mrcc/internal/dataset"
+	"mrcc/internal/linalg"
+)
+
+// Config controls an ORCLUS run.
+type Config struct {
+	// K is the final number of clusters.
+	K int
+	// L is the final subspace dimensionality.
+	L int
+	// K0 is the initial seed count (default 3·K).
+	K0 int
+	// Alpha is the per-phase cluster-count reduction factor (default 0.5).
+	Alpha float64
+	// Seed drives the seed sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K0 == 0 {
+		c.K0 = 3 * c.K
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	return c
+}
+
+// clusterState carries one cluster's members and subspace.
+type clusterState struct {
+	centroid []float64
+	// basis columns span the projection subspace (the lc tightest
+	// directions); nil means the full space (identity projection).
+	basis   *linalg.Matrix
+	members []int
+}
+
+// Run executes ORCLUS over a normalized dataset.
+func Run(ds *dataset.Dataset, cfg Config) (*baselines.Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("orclus: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.L < 1 || cfg.L > ds.Dims {
+		return nil, fmt.Errorf("orclus: L must be in [1,%d], got %d", ds.Dims, cfg.L)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("orclus: Alpha must be in (0,1), got %g", cfg.Alpha)
+	}
+	n := ds.Len()
+	if cfg.K0 > n {
+		cfg.K0 = n
+	}
+	if cfg.K > cfg.K0 {
+		return nil, fmt.Errorf("orclus: K=%d exceeds the seed count %d", cfg.K, cfg.K0)
+	}
+	d := ds.Dims
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initial seeds: a random sample of points, full-space projection.
+	perm := rng.Perm(n)
+	clusters := make([]*clusterState, 0, cfg.K0)
+	for _, idx := range perm[:cfg.K0] {
+		c := &clusterState{centroid: append([]float64(nil), ds.Points[idx]...)}
+		clusters = append(clusters, c)
+	}
+
+	kc := cfg.K0
+	lc := float64(d)
+	// beta shrinks lc in lockstep with kc, as the ORCLUS paper derives.
+	beta := math.Exp(-math.Log(float64(d)/float64(cfg.L)) * math.Log(1/cfg.Alpha) /
+		math.Log(float64(cfg.K0)/float64(cfg.K)))
+	for {
+		assign(ds, clusters)
+		newL := int(math.Max(float64(cfg.L), lc*beta))
+		for _, c := range clusters {
+			updateSubspace(ds, c, newL)
+		}
+		if kc <= cfg.K {
+			break
+		}
+		target := int(math.Max(float64(cfg.K), float64(kc)*cfg.Alpha))
+		clusters = mergeDown(ds, clusters, target, newL)
+		kc = len(clusters)
+		lc = float64(newL)
+		if kc <= cfg.K && int(lc) <= cfg.L {
+			assign(ds, clusters)
+			break
+		}
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = baselines.Noise
+	}
+	for id, c := range clusters {
+		for _, pi := range c.members {
+			labels[pi] = id
+		}
+	}
+	return &baselines.Result{Labels: labels}, nil
+}
+
+// assign gives every point to the cluster with the smallest projected
+// distance to the centroid, in that cluster's subspace.
+func assign(ds *dataset.Dataset, clusters []*clusterState) {
+	for _, c := range clusters {
+		c.members = c.members[:0]
+	}
+	diff := make([]float64, ds.Dims)
+	for i, p := range ds.Points {
+		best, bestDist := 0, math.Inf(1)
+		for ci, c := range clusters {
+			dist := projectedDistance(p, c, diff)
+			if dist < bestDist {
+				best, bestDist = ci, dist
+			}
+		}
+		clusters[best].members = append(clusters[best].members, i)
+	}
+	for _, c := range clusters {
+		updateCentroid(ds, c)
+	}
+}
+
+// projectedDistance is the squared norm of (p - centroid) projected onto
+// the cluster's basis (or the full space when basis is nil), normalized
+// by the basis dimensionality so subspaces of different sizes compare.
+func projectedDistance(p []float64, c *clusterState, diff []float64) float64 {
+	for j := range diff {
+		diff[j] = p[j] - c.centroid[j]
+	}
+	if c.basis == nil {
+		s := 0.0
+		for _, v := range diff {
+			s += v * v
+		}
+		return s / float64(len(diff))
+	}
+	s := 0.0
+	for col := 0; col < c.basis.Cols; col++ {
+		proj := 0.0
+		for row := 0; row < c.basis.Rows; row++ {
+			proj += c.basis.At(row, col) * diff[row]
+		}
+		s += proj * proj
+	}
+	return s / float64(c.basis.Cols)
+}
+
+func updateCentroid(ds *dataset.Dataset, c *clusterState) {
+	if len(c.members) == 0 {
+		return
+	}
+	for j := range c.centroid {
+		c.centroid[j] = 0
+	}
+	for _, pi := range c.members {
+		for j, v := range ds.Points[pi] {
+			c.centroid[j] += v
+		}
+	}
+	for j := range c.centroid {
+		c.centroid[j] /= float64(len(c.members))
+	}
+}
+
+// updateSubspace recomputes the cluster's basis as the lc eigenvectors
+// of its covariance with the smallest eigenvalues.
+func updateSubspace(ds *dataset.Dataset, c *clusterState, lc int) {
+	d := ds.Dims
+	if lc >= d || len(c.members) < d+2 {
+		c.basis = nil
+		return
+	}
+	rows := make([][]float64, len(c.members))
+	for i, pi := range c.members {
+		rows[i] = ds.Points[pi]
+	}
+	vals, vecs := linalg.PCA(rows) // sorted by decreasing eigenvalue
+	_ = vals
+	basis := linalg.NewMatrix(d, lc)
+	for col := 0; col < lc; col++ {
+		src := d - 1 - col // smallest eigenvalues live at the back
+		for row := 0; row < d; row++ {
+			basis.Set(row, col, vecs.At(row, src))
+		}
+	}
+	c.basis = basis
+}
+
+// mergeDown greedily merges the cluster pair with the smallest merged
+// projected energy until `target` clusters remain.
+func mergeDown(ds *dataset.Dataset, clusters []*clusterState, target, lc int) []*clusterState {
+	diff := make([]float64, ds.Dims)
+	for len(clusters) > target {
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				e := mergedEnergy(ds, clusters[i], clusters[j], lc, diff)
+				if e < best {
+					best, bi, bj = e, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		merged := &clusterState{
+			centroid: make([]float64, ds.Dims),
+			members:  append(append([]int(nil), clusters[bi].members...), clusters[bj].members...),
+		}
+		updateCentroid(ds, merged)
+		updateSubspace(ds, merged, lc)
+		next := clusters[:0]
+		for idx, c := range clusters {
+			if idx != bi && idx != bj {
+				next = append(next, c)
+			}
+		}
+		clusters = append(next, merged)
+	}
+	return clusters
+}
+
+// mergedEnergy estimates the projected energy of the union of two
+// clusters in the union's own tightest subspace, approximated on the
+// concatenated members around the weighted centroid.
+func mergedEnergy(ds *dataset.Dataset, a, b *clusterState, lc int, diff []float64) float64 {
+	na, nb := len(a.members), len(b.members)
+	if na+nb == 0 {
+		return math.Inf(1)
+	}
+	tmp := clusterState{centroid: make([]float64, ds.Dims)}
+	for j := range tmp.centroid {
+		tmp.centroid[j] = (a.centroid[j]*float64(na) + b.centroid[j]*float64(nb)) / float64(na+nb)
+	}
+	// Use the smaller side's basis as the projection estimate; a full
+	// eigen-decomposition per candidate pair would be cubic in k.
+	tmp.basis = a.basis
+	if nb < na {
+		tmp.basis = b.basis
+	}
+	total := 0.0
+	for _, pi := range a.members {
+		total += projectedDistance(ds.Points[pi], &tmp, diff)
+	}
+	for _, pi := range b.members {
+		total += projectedDistance(ds.Points[pi], &tmp, diff)
+	}
+	return total / float64(na+nb)
+}

@@ -1,0 +1,339 @@
+// Package p3c implements P3C — "Robust projected clustering" (Moise,
+// Sander, Ester: KAIS 2008), one of the paper's five competitors.
+//
+// P3C proceeds bottom-up: (1) per attribute, locate intervals whose
+// support a chi-square test flags as significantly above uniform;
+// (2) combine intervals on distinct attributes into cluster cores,
+// accepting an extension only when the observed joint support beats the
+// expected support under independence by a Poisson-tail threshold;
+// (3) assign points to the matching cores and label the rest noise.
+package p3c
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrcc/internal/baselines"
+	"mrcc/internal/dataset"
+	"mrcc/internal/stats"
+)
+
+// Config controls a P3C run.
+type Config struct {
+	// PoissonThreshold bounds the Poisson tail probability accepted
+	// when growing cluster cores; the paper sweeps 1e-1 .. 1e-15
+	// (default 1e-4).
+	PoissonThreshold float64
+	// ChiAlpha is the significance of the per-attribute uniformity test
+	// (P3C fixes 0.001).
+	ChiAlpha float64
+	// MinClusterFrac drops cores holding fewer points (default 0.005).
+	MinClusterFrac float64
+	// MaxCoreDim bounds core growth (default: dataset dimensionality).
+	MaxCoreDim int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoissonThreshold == 0 {
+		c.PoissonThreshold = 1e-4
+	}
+	if c.ChiAlpha == 0 {
+		c.ChiAlpha = 0.001
+	}
+	if c.MinClusterFrac == 0 {
+		c.MinClusterFrac = 0.005
+	}
+	return c
+}
+
+// interval is a marked dense range on one attribute.
+type interval struct {
+	axis   int
+	lo, hi float64 // [lo, hi)
+}
+
+func (iv interval) contains(p []float64) bool {
+	return p[iv.axis] >= iv.lo && p[iv.axis] < iv.hi
+}
+
+// core is a candidate projected cluster: one interval per axis at most.
+type core struct {
+	intervals []interval
+	support   []int // indices of points inside every interval
+}
+
+// Run executes P3C over a normalized dataset.
+func Run(ds *dataset.Dataset, cfg Config) (*baselines.Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PoissonThreshold <= 0 || cfg.PoissonThreshold >= 1 {
+		return nil, fmt.Errorf("p3c: Poisson threshold must be in (0,1), got %g", cfg.PoissonThreshold)
+	}
+	if cfg.ChiAlpha <= 0 || cfg.ChiAlpha >= 1 {
+		return nil, fmt.Errorf("p3c: chi-square alpha must be in (0,1), got %g", cfg.ChiAlpha)
+	}
+	n := ds.Len()
+	maxDim := cfg.MaxCoreDim
+	if maxDim == 0 || maxDim > ds.Dims {
+		maxDim = ds.Dims
+	}
+
+	intervals := relevantIntervals(ds, cfg.ChiAlpha)
+	cores := growCores(ds, intervals, cfg.PoissonThreshold, maxDim,
+		int(cfg.MinClusterFrac*float64(n)))
+
+	// Assign each point to the most specific matching core.
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = baselines.Noise
+	}
+	for i, p := range ds.Points {
+		best := -1
+		bestDim := 0
+		for ci, c := range cores {
+			if len(c.intervals) <= bestDim {
+				continue
+			}
+			ok := true
+			for _, iv := range c.intervals {
+				if !iv.contains(p) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = ci
+				bestDim = len(c.intervals)
+			}
+		}
+		labels[i] = best
+		if best < 0 {
+			labels[i] = baselines.Noise
+		}
+	}
+	// Drop empty cores and compact labels.
+	sizes := make([]int, len(cores))
+	for _, l := range labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	remap := make([]int, len(cores))
+	id := 0
+	var rel [][]bool
+	for ci := range cores {
+		minPts := int(cfg.MinClusterFrac * float64(n))
+		if sizes[ci] < minPts || sizes[ci] == 0 {
+			remap[ci] = baselines.Noise
+			continue
+		}
+		remap[ci] = id
+		axes := make([]bool, ds.Dims)
+		for _, iv := range cores[ci].intervals {
+			axes[iv.axis] = true
+		}
+		rel = append(rel, axes)
+		id++
+	}
+	for i, l := range labels {
+		if l >= 0 {
+			labels[i] = remap[l]
+		}
+	}
+	return &baselines.Result{Labels: labels, Relevant: rel}, nil
+}
+
+// relevantIntervals finds, for every attribute, the merged runs of bins
+// that a chi-square uniformity test marks as over-supported.
+func relevantIntervals(ds *dataset.Dataset, alpha float64) []interval {
+	n := ds.Len()
+	bins := 1 + int(math.Log2(float64(n))) // Sturges, as P3C prescribes
+	var out []interval
+	for j := 0; j < ds.Dims; j++ {
+		counts := make([]int, bins)
+		for _, p := range ds.Points {
+			b := int(p[j] * float64(bins))
+			if b >= bins {
+				b = bins - 1
+			}
+			counts[b]++
+		}
+		marked := markNonUniform(counts, alpha)
+		// Merge adjacent marked bins into intervals.
+		for b := 0; b < bins; {
+			if !marked[b] {
+				b++
+				continue
+			}
+			start := b
+			for b < bins && marked[b] {
+				b++
+			}
+			out = append(out, interval{
+				axis: j,
+				lo:   float64(start) / float64(bins),
+				hi:   float64(b) / float64(bins),
+			})
+		}
+	}
+	return out
+}
+
+// markNonUniform iteratively marks the largest bin while the remaining
+// (unmarked) bins fail a chi-square uniformity test at level alpha —
+// exactly P3C's per-attribute procedure.
+func markNonUniform(counts []int, alpha float64) []bool {
+	bins := len(counts)
+	marked := make([]bool, bins)
+	for rounds := 0; rounds < bins-1; rounds++ {
+		total := 0
+		free := 0
+		for b, c := range counts {
+			if !marked[b] {
+				total += c
+				free++
+			}
+		}
+		if free < 2 || total == 0 {
+			break
+		}
+		expected := float64(total) / float64(free)
+		chi2 := 0.0
+		for b, c := range counts {
+			if marked[b] {
+				continue
+			}
+			diff := float64(c) - expected
+			chi2 += diff * diff / expected
+		}
+		if stats.ChiSquareSF(chi2, free-1) >= alpha {
+			break // remaining bins look uniform
+		}
+		// Mark the largest unmarked bin.
+		best, bestC := -1, -1
+		for b, c := range counts {
+			if !marked[b] && c > bestC {
+				best, bestC = b, c
+			}
+		}
+		marked[best] = true
+	}
+	return marked
+}
+
+// growCores combines intervals on distinct attributes, Apriori-style:
+// a core is extended by an interval when the observed joint support is
+// significantly larger (Poisson tail below threshold) than the support
+// expected if the new attribute were independent.
+func growCores(ds *dataset.Dataset, intervals []interval, poisson float64, maxDim, minPts int) []core {
+	n := ds.Len()
+	// Seed cores: one per interval.
+	var cores []core
+	for _, iv := range intervals {
+		var sup []int
+		for i, p := range ds.Points {
+			if iv.contains(p) {
+				sup = append(sup, i)
+			}
+		}
+		if len(sup) >= minPts {
+			cores = append(cores, core{intervals: []interval{iv}, support: sup})
+		}
+	}
+	// Greedy growth to maximal cores.
+	var grown []core
+	for _, c := range cores {
+		cur := c
+		used := make([]bool, ds.Dims)
+		for _, iv := range cur.intervals {
+			used[iv.axis] = true
+		}
+		for len(cur.intervals) < maxDim {
+			bestIdx := -1
+			var bestSup []int
+			for _, iv := range intervals {
+				if used[iv.axis] {
+					continue
+				}
+				var sup []int
+				for _, pi := range cur.support {
+					if iv.contains(ds.Points[pi]) {
+						sup = append(sup, pi)
+					}
+				}
+				if len(sup) < minPts {
+					continue
+				}
+				// Expected support if the new attribute were
+				// independent of the current core.
+				width := iv.hi - iv.lo
+				expected := float64(len(cur.support)) * width
+				if expected <= 0 {
+					continue
+				}
+				if stats.PoissonSF(len(sup), expected) >= poisson {
+					continue
+				}
+				if bestSup == nil || len(sup) > len(bestSup) {
+					bestIdx = indexOf(intervals, iv)
+					bestSup = sup
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			iv := intervals[bestIdx]
+			cur.intervals = append(cur.intervals, iv)
+			cur.support = bestSup
+			used[iv.axis] = true
+		}
+		if len(cur.intervals) >= 2 {
+			grown = append(grown, cur)
+		}
+	}
+	return dedupeCores(grown, n)
+}
+
+// dedupeCores drops cores whose support substantially overlaps a larger
+// core's support (P3C's core merging, simplified).
+func dedupeCores(cores []core, n int) []core {
+	sort.Slice(cores, func(a, b int) bool {
+		if len(cores[a].support) != len(cores[b].support) {
+			return len(cores[a].support) > len(cores[b].support)
+		}
+		return len(cores[a].intervals) > len(cores[b].intervals)
+	})
+	covered := make([]int, n)
+	for i := range covered {
+		covered[i] = -1
+	}
+	var out []core
+	for _, c := range cores {
+		overlap := 0
+		for _, pi := range c.support {
+			if covered[pi] >= 0 {
+				overlap++
+			}
+		}
+		if float64(overlap) >= 0.5*float64(len(c.support)) {
+			continue
+		}
+		id := len(out)
+		for _, pi := range c.support {
+			if covered[pi] < 0 {
+				covered[pi] = id
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func indexOf(intervals []interval, iv interval) int {
+	for i, x := range intervals {
+		if x == iv {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,300 @@
+// Package proclus implements PROCLUS (Aggarwal, Wolf, Yu, Procopiuc,
+// Park: "Fast algorithms for projected clustering", SIGMOD 1999), the
+// classic top-down projected clustering method the paper discusses in
+// Related Work. It is included as an extra baseline beyond the paper's
+// five competitors.
+package proclus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mrcc/internal/baselines"
+	"mrcc/internal/dataset"
+)
+
+// Config controls a PROCLUS run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// AvgDim is the average cluster dimensionality l; K·AvgDim
+	// dimensions are distributed among the medoids.
+	AvgDim int
+	// MaxIter bounds the iterative medoid-replacement phase (default 30).
+	MaxIter int
+	// SampleFactor scales the greedy candidate sample (default 10·K).
+	SampleFactor int
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter == 0 {
+		c.MaxIter = 30
+	}
+	if c.SampleFactor == 0 {
+		c.SampleFactor = 10
+	}
+	return c
+}
+
+// Run executes PROCLUS over a normalized dataset.
+func Run(ds *dataset.Dataset, cfg Config) (*baselines.Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("proclus: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.AvgDim < 2 {
+		return nil, fmt.Errorf("proclus: average dimensionality must be >= 2, got %d", cfg.AvgDim)
+	}
+	if cfg.AvgDim > ds.Dims {
+		return nil, fmt.Errorf("proclus: average dimensionality %d exceeds space dimensionality %d", cfg.AvgDim, ds.Dims)
+	}
+	n := ds.Len()
+	if cfg.K > n {
+		return nil, fmt.Errorf("proclus: K=%d exceeds %d points", cfg.K, n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initialization: greedy selection of K well-separated candidates
+	// from a sample of SampleFactor·K points.
+	sample := samplePoints(n, min(n, cfg.SampleFactor*cfg.K*2), rng)
+	medoids := greedyMedoids(ds, sample, cfg.K, rng)
+
+	best := math.Inf(1)
+	bestLabels := make([]int, n)
+	bestDims := make([][]bool, cfg.K)
+	labels := make([]int, n)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		dims := findDimensions(ds, medoids, cfg.AvgDim)
+		assignPoints(ds, medoids, dims, labels)
+		cost := clusterCost(ds, medoids, dims, labels)
+		improved := cost < best
+		if improved {
+			best = cost
+			copy(bestLabels, labels)
+			for c := range dims {
+				bestDims[c] = append([]bool(nil), dims[c]...)
+			}
+		}
+		// Replace the medoid of the smallest cluster with a random point.
+		sizes := make([]int, cfg.K)
+		for _, l := range labels {
+			if l >= 0 {
+				sizes[l]++
+			}
+		}
+		worst := 0
+		for c, s := range sizes {
+			if s < sizes[worst] {
+				worst = c
+			}
+		}
+		medoids[worst] = rng.Intn(n)
+		if !improved && iter > cfg.MaxIter/2 {
+			break
+		}
+	}
+
+	// Refinement: recompute dimensions from the final clusters and
+	// reassign, flagging points beyond each cluster's radius as outliers.
+	labels = bestLabels
+	rel := make([][]bool, cfg.K)
+	for c := range rel {
+		rel[c] = bestDims[c]
+		if rel[c] == nil {
+			rel[c] = make([]bool, ds.Dims)
+		}
+	}
+	return &baselines.Result{Labels: labels, Relevant: rel}, nil
+}
+
+func samplePoints(n, m int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	return perm[:m]
+}
+
+// greedyMedoids picks K candidates far from each other.
+func greedyMedoids(ds *dataset.Dataset, sample []int, k int, rng *rand.Rand) []int {
+	medoids := make([]int, 0, k)
+	first := sample[rng.Intn(len(sample))]
+	medoids = append(medoids, first)
+	minDist := make([]float64, len(sample))
+	for i, idx := range sample {
+		minDist[i] = l1Dist(ds.Points[idx], ds.Points[first])
+	}
+	for len(medoids) < k {
+		best, bestDist := 0, -1.0
+		for i, dist := range minDist {
+			if dist > bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		m := sample[best]
+		medoids = append(medoids, m)
+		for i, idx := range sample {
+			if dd := l1Dist(ds.Points[idx], ds.Points[m]); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+	return medoids
+}
+
+// findDimensions implements the PROCLUS dimension-selection phase: for
+// each medoid, examine its locality (points within the distance to the
+// nearest other medoid) and pick the K·AvgDim axes with the most
+// negative Z-scores, at least two per medoid.
+func findDimensions(ds *dataset.Dataset, medoids []int, avgDim int) [][]bool {
+	k := len(medoids)
+	d := ds.Dims
+	// delta_i: distance from medoid i to its nearest fellow medoid.
+	delta := make([]float64, k)
+	for i := range medoids {
+		delta[i] = math.Inf(1)
+		for j := range medoids {
+			if i == j {
+				continue
+			}
+			if dd := l1Dist(ds.Points[medoids[i]], ds.Points[medoids[j]]); dd < delta[i] {
+				delta[i] = dd
+			}
+		}
+	}
+	// X[i][j]: average |coordinate difference| of the locality of medoid
+	// i along axis j.
+	x := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range x {
+		x[i] = make([]float64, d)
+	}
+	for _, p := range ds.Points {
+		for i, m := range medoids {
+			if l1Dist(p, ds.Points[m]) <= delta[i] {
+				counts[i]++
+				for j := 0; j < d; j++ {
+					x[i][j] += math.Abs(p[j] - ds.Points[m][j])
+				}
+			}
+		}
+	}
+	type zEntry struct {
+		medoid, dim int
+		z           float64
+	}
+	var entries []zEntry
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		mean := 0.0
+		for j := 0; j < d; j++ {
+			x[i][j] /= float64(counts[i])
+			mean += x[i][j]
+		}
+		mean /= float64(d)
+		variance := 0.0
+		for j := 0; j < d; j++ {
+			diff := x[i][j] - mean
+			variance += diff * diff
+		}
+		sigma := math.Sqrt(variance / float64(d-1))
+		if sigma == 0 {
+			sigma = 1e-12
+		}
+		for j := 0; j < d; j++ {
+			entries = append(entries, zEntry{i, j, (x[i][j] - mean) / sigma})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].z < entries[b].z })
+	dims := make([][]bool, k)
+	picked := make([]int, k)
+	for i := range dims {
+		dims[i] = make([]bool, d)
+	}
+	total := k * avgDim
+	taken := 0
+	// First guarantee two axes per medoid, then fill globally.
+	for _, e := range entries {
+		if picked[e.medoid] < 2 && !dims[e.medoid][e.dim] {
+			dims[e.medoid][e.dim] = true
+			picked[e.medoid]++
+			taken++
+		}
+	}
+	for _, e := range entries {
+		if taken >= total {
+			break
+		}
+		if !dims[e.medoid][e.dim] {
+			dims[e.medoid][e.dim] = true
+			picked[e.medoid]++
+			taken++
+		}
+	}
+	return dims
+}
+
+// assignPoints assigns every point to the medoid with the smallest
+// Manhattan segmental distance over that medoid's dimensions.
+func assignPoints(ds *dataset.Dataset, medoids []int, dims [][]bool, labels []int) {
+	for i, p := range ds.Points {
+		best, bestDist := 0, math.Inf(1)
+		for c, m := range medoids {
+			nd := 0
+			s := 0.0
+			for j, rel := range dims[c] {
+				if rel {
+					s += math.Abs(p[j] - ds.Points[m][j])
+					nd++
+				}
+			}
+			if nd == 0 {
+				continue
+			}
+			if dist := s / float64(nd); dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		labels[i] = best
+	}
+}
+
+// clusterCost is the average within-cluster segmental distance that the
+// iterative phase minimizes.
+func clusterCost(ds *dataset.Dataset, medoids []int, dims [][]bool, labels []int) float64 {
+	total := 0.0
+	for i, p := range ds.Points {
+		c := labels[i]
+		nd := 0
+		s := 0.0
+		for j, rel := range dims[c] {
+			if rel {
+				s += math.Abs(p[j] - ds.Points[medoids[c]][j])
+				nd++
+			}
+		}
+		if nd > 0 {
+			total += s / float64(nd)
+		}
+	}
+	return total / float64(ds.Len())
+}
+
+func l1Dist(a, b []float64) float64 {
+	s := 0.0
+	for j, v := range a {
+		s += math.Abs(v - b[j])
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,42 @@
+package conv
+
+import (
+	"testing"
+
+	"mrcc/internal/ctree"
+)
+
+// BenchmarkFaceValue measures the O(d) face-only mask application over
+// an entire tree level — the paper's key cost argument vs the full
+// O(3^d) mask.
+func BenchmarkFaceValue(b *testing.B) {
+	tr, _ := buildTree(b, 10, 20000, 1, 4)
+	var paths []ctree.Path
+	var cells []*ctree.Cell
+	tr.WalkLevel(2, func(p ctree.Path, c *ctree.Cell) {
+		paths = append(paths, p.Clone())
+		cells = append(cells, c)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % len(paths)
+		FaceValue(tr, paths[idx], cells[idx])
+	}
+}
+
+// BenchmarkFullValue measures the full mask at a dimensionality where
+// it is still tractable, for the A-mask ablation comparison.
+func BenchmarkFullValue(b *testing.B) {
+	tr, _ := buildTree(b, 6, 5000, 1, 4)
+	var paths []ctree.Path
+	var cells []*ctree.Cell
+	tr.WalkLevel(2, func(p ctree.Path, c *ctree.Cell) {
+		paths = append(paths, p.Clone())
+		cells = append(cells, c)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % len(paths)
+		FullValue(tr, paths[idx], cells[idx])
+	}
+}

@@ -1,0 +1,115 @@
+// Package conv applies spatial convolution masks over one level of a
+// Counting-tree (Section III-B of the paper). The default mask is the
+// integer approximation of the Laplacian filter with non-zero values
+// only at the center (2d) and the 2d face elements (-1 each), which
+// makes one application O(d) instead of O(3^d). The full order-3 mask
+// (center 3^d-1, every other element -1) is also provided for the
+// ablation study that justifies the face-only choice.
+package conv
+
+import "mrcc/internal/ctree"
+
+// FaceValue returns the face-only Laplacian convolution value for the
+// cell c addressed by path p: 2d·n(c) − Σ_j [n(lower_j) + n(upper_j)],
+// where absent neighbors contribute zero.
+func FaceValue(t *ctree.Tree, p ctree.Path, c *ctree.Cell) int64 {
+	d := t.D
+	v := int64(2*d) * int64(c.N)
+	buf := make(ctree.Path, 0, p.Level())
+	for j := 0; j < d; j++ {
+		for _, upper := range [2]bool{false, true} {
+			np, ok := p.NeighborInto(buf, j, upper)
+			if ok {
+				if nc := t.CellAt(np); nc != nil {
+					v -= int64(nc.N)
+				}
+			}
+			buf = np[:0]
+		}
+	}
+	return v
+}
+
+// FaceNeighborCounts returns, for each axis j, the point counts of the
+// lower and upper face neighbors of the cell at path p (zero when the
+// neighbor is absent or outside the cube). The clustering phase reuses
+// this both for the statistical test and for bound refinement.
+func FaceNeighborCounts(t *ctree.Tree, p ctree.Path) (lower, upper []int32) {
+	d := t.D
+	lower = make([]int32, d)
+	upper = make([]int32, d)
+	for j := 0; j < d; j++ {
+		if np, ok := p.Neighbor(j, false); ok {
+			if nc := t.CellAt(np); nc != nil {
+				lower[j] = nc.N
+			}
+		}
+		if np, ok := p.Neighbor(j, true); ok {
+			if nc := t.CellAt(np); nc != nil {
+				upper[j] = nc.N
+			}
+		}
+	}
+	return lower, upper
+}
+
+// FullValue returns the full order-3 Laplacian convolution value:
+// (3^d−1)·n(c) − Σ over all 3^d−1 offset neighbors. Cost is O(3^d·h·d);
+// it exists only for the mask ablation (experiment A-mask) on small d.
+func FullValue(t *ctree.Tree, p ctree.Path, c *ctree.Cell) int64 {
+	d := t.D
+	total := int64(1)
+	for i := 0; i < d; i++ {
+		total *= 3
+	}
+	v := (total - 1) * int64(c.N)
+	offsets := make([]int, d)
+	coords := make([]uint64, d)
+	for j := 0; j < d; j++ {
+		coords[j] = p.Coord(j)
+	}
+	h := p.Level()
+	limit := uint64(1) << uint(h)
+	var rec func(axis int, anyNonZero bool)
+	rec = func(axis int, anyNonZero bool) {
+		if axis == d {
+			if !anyNonZero {
+				return
+			}
+			np := offsetPath(p, coords, offsets, limit)
+			if np == nil {
+				return
+			}
+			if nc := t.CellAt(np); nc != nil {
+				v -= int64(nc.N)
+			}
+			return
+		}
+		for _, o := range [3]int{-1, 0, 1} {
+			offsets[axis] = o
+			rec(axis+1, anyNonZero || o != 0)
+		}
+	}
+	rec(0, false)
+	return v
+}
+
+// offsetPath returns the path of the cell displaced by offsets from the
+// cell at p, or nil when the displaced coordinates leave the grid.
+func offsetPath(p ctree.Path, coords []uint64, offsets []int, limit uint64) ctree.Path {
+	h := p.Level()
+	out := make(ctree.Path, h)
+	for j, c := range coords {
+		nc := int64(c) + int64(offsets[j])
+		if nc < 0 || uint64(nc) >= limit {
+			return nil
+		}
+		mask := uint64(1) << uint(j)
+		for l := 0; l < h; l++ {
+			if (uint64(nc)>>uint(h-1-l))&1 == 1 {
+				out[l] |= mask
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"mrcc/internal/ctree"
+	"mrcc/internal/dataset"
+)
+
+func buildTree(t testing.TB, d, n int, seed int64, h int) (*ctree.Tree, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.New(d, n)
+	for i := 0; i < n; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		ds.Append(p)
+	}
+	tr, err := ctree.Build(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, ds
+}
+
+// naiveFaceValue recomputes the face-only Laplacian by brute force over
+// the raw points.
+func naiveFaceValue(t *ctree.Tree, ds *dataset.Dataset, p ctree.Path) int64 {
+	d := t.D
+	countIn := func(q ctree.Path) int64 {
+		n := int64(0)
+		for _, pt := range ds.Points {
+			inside := true
+			for j := 0; j < d; j++ {
+				lo, hi := q.Bounds(j)
+				if pt[j] < lo || pt[j] >= hi {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				n++
+			}
+		}
+		return n
+	}
+	v := int64(2*d) * countIn(p)
+	for j := 0; j < d; j++ {
+		for _, upper := range [2]bool{false, true} {
+			if np, ok := p.Neighbor(j, upper); ok {
+				v -= countIn(np)
+			}
+		}
+	}
+	return v
+}
+
+func TestFaceValueMatchesBruteForce(t *testing.T) {
+	tr, ds := buildTree(t, 3, 300, 5, 4)
+	for h := 2; h <= 3; h++ {
+		tr.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) {
+			got := FaceValue(tr, p, c)
+			want := naiveFaceValue(tr, ds, p)
+			if got != want {
+				t.Fatalf("level %d cell %v: FaceValue=%d brute=%d", h, p, got, want)
+			}
+		})
+	}
+}
+
+func TestFaceValueIsolatedCellIsPositive(t *testing.T) {
+	// A single dense cell with empty neighbors has value 2d·n.
+	rows := [][]float64{}
+	for i := 0; i < 50; i++ {
+		rows = append(rows, []float64{0.6 + 0.01*float64(i%5), 0.6 + 0.01*float64(i/10)})
+	}
+	ds, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	tr.WalkLevel(2, func(p ctree.Path, c *ctree.Cell) {
+		if int(c.N) == 50 {
+			found = true
+			if v := FaceValue(tr, p, c); v != int64(2*2*50) {
+				t.Errorf("isolated cell value = %d, want %d", v, 2*2*50)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("expected all 50 points in one level-2 cell")
+	}
+}
+
+func TestFullValueMatchesFaceOnSparseDiagonal(t *testing.T) {
+	// Points on a diagonal: corner neighbors exist, so FullValue must
+	// differ from FaceValue where a corner cell is occupied.
+	rows := [][]float64{}
+	for i := 0; i < 8; i++ {
+		v := float64(i)/8 + 0.01
+		rows = append(rows, []float64{v, v})
+	}
+	ds, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	tr.WalkLevel(3, func(p ctree.Path, c *ctree.Cell) {
+		fv := FaceValue(tr, p, c)
+		uv := FullValue(tr, p, c)
+		// FullValue subtracts corner neighbors too, so on the diagonal
+		// it must be strictly smaller than the face-only response minus
+		// the center-weight difference. Just check they are not equal
+		// after removing the center-weight gap.
+		centerGap := int64(9-1-2*2) * int64(c.N) // (3^2-1) - 2d
+		if uv-centerGap != fv {
+			diff = true
+		}
+	})
+	if !diff {
+		t.Error("FullValue never saw a corner neighbor on a diagonal layout")
+	}
+}
+
+func TestFullValueBruteForce2D(t *testing.T) {
+	tr, ds := buildTree(t, 2, 200, 9, 4)
+	naiveFull := func(p ctree.Path) int64 {
+		countIn := func(q ctree.Path) int64 {
+			n := int64(0)
+			for _, pt := range ds.Points {
+				inside := true
+				for j := 0; j < 2; j++ {
+					lo, hi := q.Bounds(j)
+					if pt[j] < lo || pt[j] >= hi {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					n++
+				}
+			}
+			return n
+		}
+		v := int64(8) * countIn(p)
+		h := p.Level()
+		limit := int64(1) << uint(h)
+		c0, c1 := int64(p.Coord(0)), int64(p.Coord(1))
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				nx, ny := c0+dx, c1+dy
+				if nx < 0 || nx >= limit || ny < 0 || ny >= limit {
+					continue
+				}
+				q := make(ctree.Path, h)
+				for l := 0; l < h; l++ {
+					if (nx>>uint(h-1-l))&1 == 1 {
+						q[l] |= 1
+					}
+					if (ny>>uint(h-1-l))&1 == 1 {
+						q[l] |= 2
+					}
+				}
+				v -= countIn(q)
+			}
+		}
+		return v
+	}
+	tr.WalkLevel(2, func(p ctree.Path, c *ctree.Cell) {
+		got := FullValue(tr, p, c)
+		want := naiveFull(p)
+		if got != want {
+			t.Fatalf("cell %v: FullValue=%d brute=%d", p, got, want)
+		}
+	})
+}
+
+func TestFaceNeighborCountsMatchLookups(t *testing.T) {
+	tr, _ := buildTree(t, 3, 400, 21, 4)
+	tr.WalkLevel(2, func(p ctree.Path, c *ctree.Cell) {
+		lower, upper := FaceNeighborCounts(tr, p)
+		for j := 0; j < tr.D; j++ {
+			for _, up := range [2]bool{false, true} {
+				var want int32
+				if np, ok := p.Neighbor(j, up); ok {
+					if nc := tr.CellAt(np); nc != nil {
+						want = nc.N
+					}
+				}
+				got := lower[j]
+				if up {
+					got = upper[j]
+				}
+				if got != want {
+					t.Fatalf("axis %d upper=%v: count %d, want %d", j, up, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,495 @@
+// Package core implements the MrCC clustering method itself: the
+// β-cluster search over the Counting-tree (Algorithm 2 of the paper) and
+// the assembly of correlation clusters from β-clusters (Algorithm 3),
+// followed by point labeling.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mrcc/internal/conv"
+	"mrcc/internal/ctree"
+	"mrcc/internal/dataset"
+	"mrcc/internal/mdl"
+	"mrcc/internal/stats"
+)
+
+// Noise is the label assigned to points that belong to no correlation
+// cluster.
+const Noise = -1
+
+// relevanceCeiling caps the MDL relevance threshold. A relevance
+// r[j] = 100·cPj/nPj of 100/6 ≈ 16.7 is what the uniform null predicts;
+// an axis at four times that share is concentrated beyond doubt and must
+// never be marked irrelevant, even when the MDL cut of an all-relevant
+// profile lands inside the high group. Without this guard such a cut
+// leaves most axes unbounded ([0,1]) and unrelated clusters chain-merge
+// through the resulting near-universal box.
+const relevanceCeiling = 400.0 / 6.0
+
+// DefaultAlpha is the significance level the paper fixes for all its
+// experiments (Section IV-E).
+const DefaultAlpha = 1e-10
+
+// DefaultH is the number of resolutions the paper fixes for all its
+// experiments (Section IV-E).
+const DefaultH = 4
+
+// Config controls a run of MrCC.
+type Config struct {
+	// Alpha is the statistical significance of the null-hypothesis test
+	// that confirms β-clusters. Defaults to DefaultAlpha when zero.
+	Alpha float64
+	// H is the number of resolutions of the Counting-tree (>= 3).
+	// Defaults to DefaultH when zero.
+	H int
+	// FullMask switches the convolution to the full 3^d Laplacian mask.
+	// It exists only for the mask ablation; the paper's method uses the
+	// face-only mask (FullMask == false).
+	FullMask bool
+	// MaxBetaClusters optionally caps the number of β-clusters; zero
+	// means unlimited. The paper needs no cap (it observed at most 33);
+	// the cap is a safety valve for adversarial inputs.
+	MaxBetaClusters int
+	// FixedRelevanceThreshold, when non-zero, replaces the MDL-tuned
+	// relevance cut with a fixed threshold in (0, 100). It exists only
+	// for the A-mdl ablation that quantifies what the paper's MDL step
+	// buys; the method proper always uses MDL.
+	FixedRelevanceThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.H == 0 {
+		c.H = DefaultH
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("core: alpha must be in (0,1), got %g", c.Alpha)
+	}
+	if c.H < ctree.MinLevels {
+		return fmt.Errorf("core: H must be >= %d, got %d", ctree.MinLevels, c.H)
+	}
+	if c.MaxBetaClusters < 0 {
+		return fmt.Errorf("core: MaxBetaClusters must be >= 0, got %d", c.MaxBetaClusters)
+	}
+	if c.FixedRelevanceThreshold < 0 || c.FixedRelevanceThreshold > 100 {
+		return fmt.Errorf("core: FixedRelevanceThreshold must be in [0,100], got %g", c.FixedRelevanceThreshold)
+	}
+	return nil
+}
+
+// BetaCluster describes one β-cluster: a dense hyper-rectangular region
+// found at some tree level, with per-axis bounds and relevance flags.
+type BetaCluster struct {
+	// L and U are the lower and upper bounds per axis; irrelevant axes
+	// span [0,1].
+	L, U []float64
+	// Relevant[j] reports whether axis j is relevant to the β-cluster.
+	Relevant []bool
+	// Relevances holds r[j] = 100·cPj/nPj, the raw per-axis relevance.
+	Relevances []float64
+	// Level is the tree level where the β-cluster's center cell lies.
+	Level int
+	// Center is the path of the center cell.
+	Center ctree.Path
+}
+
+// SharesSpace reports whether the β-cluster's box overlaps the box
+// [l, u] in every axis.
+func (b *BetaCluster) SharesSpace(l, u []float64) bool {
+	for j := range b.L {
+		if u[j] < b.L[j] || l[j] > b.U[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cluster is a correlation cluster: a set of β-clusters that mutually
+// share space, the union of their relevant axes, and the points labeled
+// into it.
+type Cluster struct {
+	// ID is the cluster index (0-based) used in Result.Labels.
+	ID int
+	// Betas indexes the member β-clusters in Result.Betas.
+	Betas []int
+	// Relevant[j] reports whether axis j is relevant to the cluster.
+	Relevant []bool
+	// Size is the number of points labeled into the cluster.
+	Size int
+}
+
+// RelevantAxes returns the sorted indices of the cluster's relevant axes.
+func (c *Cluster) RelevantAxes() []int {
+	var out []int
+	for j, r := range c.Relevant {
+		if r {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Result is the outcome of a MrCC run.
+type Result struct {
+	// Betas are the β-clusters in discovery order.
+	Betas []BetaCluster
+	// Clusters are the correlation clusters.
+	Clusters []Cluster
+	// Labels assigns each input point its cluster ID, or Noise.
+	Labels []int
+	// TreeMemoryBytes estimates the Counting-tree footprint.
+	TreeMemoryBytes uint64
+	// Timings records how long each phase of the method took.
+	Timings Timings
+}
+
+// Timings breaks a run into the paper's three phases.
+type Timings struct {
+	// BuildTree covers phase one (Counting-tree construction); zero
+	// when RunOnTree was given a pre-built tree.
+	BuildTree time.Duration
+	// FindBetas covers phase two (convolution + statistical test).
+	FindBetas time.Duration
+	// BuildClusters covers phase three (merge + labeling).
+	BuildClusters time.Duration
+}
+
+// NumClusters returns γk, the number of correlation clusters.
+func (r *Result) NumClusters() int { return len(r.Clusters) }
+
+// Run executes the full MrCC pipeline over a dataset normalized to
+// [0,1)^d. Use dataset.Normalize first for raw data.
+func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	t, err := ctree.Build(ds, cfg.H)
+	if err != nil {
+		return nil, err
+	}
+	buildTime := time.Since(start)
+	res, err := RunOnTree(t, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.BuildTree = buildTime
+	return res, nil
+}
+
+// RunOnTree executes phases two and three over a pre-built Counting-tree
+// (the sensitivity experiments rebuild clusters under several α values
+// without re-scanning the data). The tree's usedCell flags are consumed;
+// call Tree.ResetUsed to reuse the tree.
+func RunOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if t.D != ds.Dims || t.Eta != ds.Len() {
+		return nil, fmt.Errorf("core: tree (d=%d, η=%d) does not match dataset (d=%d, η=%d)",
+			t.D, t.Eta, ds.Dims, ds.Len())
+	}
+	s := &searcher{tree: t, cfg: cfg, critCache: make(map[int]int)}
+	start := time.Now()
+	betas := s.findBetaClusters()
+	findTime := time.Since(start)
+	start = time.Now()
+	clusters := buildClusters(betas, t.D)
+	labels := labelPoints(ds, betas, clusters)
+	for i := range clusters {
+		clusters[i].Size = 0
+	}
+	for _, lb := range labels {
+		if lb != Noise {
+			clusters[lb].Size++
+		}
+	}
+	return &Result{
+		Betas:           betas,
+		Clusters:        clusters,
+		Labels:          labels,
+		TreeMemoryBytes: t.MemoryBytes(),
+		Timings: Timings{
+			FindBetas:     findTime,
+			BuildClusters: time.Since(start),
+		},
+	}, nil
+}
+
+// searcher carries the state of the β-cluster search (Algorithm 2).
+type searcher struct {
+	tree      *ctree.Tree
+	cfg       Config
+	betas     []BetaCluster
+	critCache map[int]int // nP -> critical value at cfg.Alpha (p = 1/6)
+	lBuf      []float64   // scratch cell bounds for the overlap check
+	uBuf      []float64
+}
+
+// findBetaClusters runs the outer repeat loop of Algorithm 2: search
+// levels 2..H-1 for the next β-cluster, restart after each hit, stop
+// when a full pass finds none.
+func (s *searcher) findBetaClusters() []BetaCluster {
+	for {
+		if s.cfg.MaxBetaClusters > 0 && len(s.betas) >= s.cfg.MaxBetaClusters {
+			return s.betas
+		}
+		found := false
+		for h := 2; h <= s.tree.H-1; h++ {
+			path, cell := s.densestCell(h)
+			if cell == nil {
+				continue
+			}
+			cell.Used = true
+			if beta, ok := s.testCell(path, cell); ok {
+				s.betas = append(s.betas, beta)
+				found = true
+				break // restart from level 2
+			}
+		}
+		if !found {
+			return s.betas
+		}
+	}
+}
+
+// densestCell convolutes the mask over every eligible cell at level h
+// and returns the one with the largest value (ties broken by the
+// lexicographically smallest path, so the method stays deterministic).
+func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell) {
+	var bestPath ctree.Path
+	var bestCell *ctree.Cell
+	bestVal := int64(math.MinInt64)
+	s.tree.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) {
+		if c.Used || s.sharesSpaceWithBeta(p) {
+			return
+		}
+		var v int64
+		if s.cfg.FullMask {
+			v = conv.FullValue(s.tree, p, c)
+		} else {
+			v = conv.FaceValue(s.tree, p, c)
+		}
+		if v > bestVal || (v == bestVal && bestCell != nil && p.Compare(bestPath) < 0) {
+			bestVal = v
+			bestPath = p.Clone()
+			bestCell = c
+		}
+	})
+	return bestPath, bestCell
+}
+
+// sharesSpaceWithBeta reports whether the cell at path p overlaps any
+// previously found β-cluster in every axis.
+func (s *searcher) sharesSpaceWithBeta(p ctree.Path) bool {
+	if len(s.betas) == 0 {
+		return false
+	}
+	d := s.tree.D
+	if s.lBuf == nil {
+		s.lBuf = make([]float64, d)
+		s.uBuf = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		s.lBuf[j], s.uBuf[j] = p.Bounds(j)
+	}
+	for i := range s.betas {
+		if s.betas[i].SharesSpace(s.lBuf, s.uBuf) {
+			return true
+		}
+	}
+	return false
+}
+
+// testCell applies the null-hypothesis test centered on the cell ah at
+// path p (Algorithm 2, lines 14-17) and, when at least one axis rejects
+// uniformity, describes the new β-cluster (lines 19-30).
+func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
+	d := s.tree.D
+	h := p.Level()
+	parentPath := p[:h-1]
+	parent := s.tree.CellAt(parentPath)
+	if parent == nil {
+		return BetaCluster{}, false
+	}
+	lowerN, upperN := conv.FaceNeighborCounts(s.tree, parentPath)
+	cP := make([]int64, d)
+	nP := make([]int64, d)
+	significant := false
+	for j := 0; j < d; j++ {
+		nP[j] = int64(parent.N) + int64(lowerN[j]) + int64(upperN[j])
+		if p[h-1]&(1<<uint(j)) == 0 {
+			cP[j] = int64(parent.P[j])
+		} else {
+			cP[j] = int64(parent.N) - int64(parent.P[j])
+		}
+		if nP[j] > 0 && cP[j] > int64(s.criticalValue(int(nP[j]))) {
+			significant = true
+		}
+	}
+	if !significant {
+		return BetaCluster{}, false
+	}
+	// Relevances r[j] = 100·cPj/nPj, MDL-tuned threshold, then bounds.
+	r := make([]float64, d)
+	for j := 0; j < d; j++ {
+		if nP[j] > 0 {
+			r[j] = 100 * float64(cP[j]) / float64(nP[j])
+		}
+	}
+	var cThreshold float64
+	if s.cfg.FixedRelevanceThreshold > 0 {
+		cThreshold = s.cfg.FixedRelevanceThreshold
+	} else {
+		o := append([]float64(nil), r...)
+		sort.Float64s(o)
+		cThreshold = math.Min(mdl.Threshold(o), relevanceCeiling)
+	}
+	beta := BetaCluster{
+		L:          make([]float64, d),
+		U:          make([]float64, d),
+		Relevant:   make([]bool, d),
+		Relevances: r,
+		Level:      h,
+		Center:     p.Clone(),
+	}
+	cellLowerN, cellUpperN := conv.FaceNeighborCounts(s.tree, p)
+	step := ctree.SideLen(h)
+	// A neighbor only extends the bounds when it holds a noticeable
+	// share of the center cell's points. The paper says "at least one
+	// point", but with background noise *every* neighbor holds stray
+	// points in low dimensionalities, and literal extension glues
+	// unrelated clusters together through noise (see DESIGN.md §5);
+	// genuine cluster mass spilling over a cell border always clears
+	// this bar.
+	minSpill := int32(ah.N / 20)
+	if minSpill < 1 {
+		minSpill = 1
+	}
+	for j := 0; j < d; j++ {
+		if r[j] >= cThreshold {
+			beta.Relevant[j] = true
+			lj, uj := p.Bounds(j)
+			if cellLowerN[j] >= minSpill {
+				lj -= step
+			}
+			if cellUpperN[j] >= minSpill {
+				uj += step
+			}
+			beta.L[j] = math.Max(0, lj)
+			beta.U[j] = math.Min(1, uj)
+		} else {
+			beta.L[j] = 0
+			beta.U[j] = 1
+		}
+	}
+	return beta, true
+}
+
+// criticalValue memoizes the one-sided Binomial(n, 1/6) critical value at
+// the configured significance: the same nP values recur across cells.
+func (s *searcher) criticalValue(n int) int {
+	if v, ok := s.critCache[n]; ok {
+		return v
+	}
+	v := stats.BinomCriticalValue(n, 1.0/6.0, s.cfg.Alpha)
+	s.critCache[n] = v
+	return v
+}
+
+// buildClusters groups β-clusters that transitively share space into
+// correlation clusters via union-find (Algorithm 3) and unions their
+// relevant axes.
+func buildClusters(betas []BetaCluster, d int) []Cluster {
+	n := len(betas)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if betas[i].SharesSpace(betas[j].L, betas[j].U) {
+				union(i, j)
+			}
+		}
+	}
+	idByRoot := make(map[int]int)
+	var clusters []Cluster
+	for i := 0; i < n; i++ {
+		root := find(i)
+		id, ok := idByRoot[root]
+		if !ok {
+			id = len(clusters)
+			idByRoot[root] = id
+			clusters = append(clusters, Cluster{ID: id, Relevant: make([]bool, d)})
+		}
+		c := &clusters[id]
+		c.Betas = append(c.Betas, i)
+		for j, rel := range betas[i].Relevant {
+			if rel {
+				c.Relevant[j] = true
+			}
+		}
+	}
+	return clusters
+}
+
+// labelPoints assigns each point to the correlation cluster owning the
+// first β-cluster box containing it, or Noise. Correlation clusters do
+// not share space, so the assignment is unambiguous.
+func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster) []int {
+	labels := make([]int, ds.Len())
+	betaOwner := make([]int, len(betas))
+	for _, c := range clusters {
+		for _, b := range c.Betas {
+			betaOwner[b] = c.ID
+		}
+	}
+	for i, pt := range ds.Points {
+		labels[i] = Noise
+		for bi := range betas {
+			if containsPoint(&betas[bi], pt) {
+				labels[i] = betaOwner[bi]
+				break
+			}
+		}
+	}
+	return labels
+}
+
+// containsPoint reports whether the β-cluster box contains the point
+// (inclusive bounds; irrelevant axes span the whole cube).
+func containsPoint(b *BetaCluster, pt []float64) bool {
+	for j, v := range pt {
+		if v < b.L[j] || v > b.U[j] {
+			return false
+		}
+	}
+	return true
+}

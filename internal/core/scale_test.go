@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"mrcc/internal/core"
+	"mrcc/internal/synthetic"
+)
+
+// TestScale14d runs MrCC on the paper's full-size 14d base dataset
+// (90 000 points, 14 axes, 17 clusters, 15 % noise) and checks the
+// clustering quality lands in the band the paper reports (~0.9).
+func TestScale14d(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size 14d dataset (90k x 14) skipped in -short mode")
+	}
+	cfg, err := synthetic.CatalogueConfig("14d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, gt, err := synthetic.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := core.Run(ds, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("run: %v clusters=%d betas=%d mem=%dKB",
+		time.Since(start), res.NumClusters(), len(res.Betas), res.TreeMemoryBytes/1024)
+	rep := quality(t, res, gt)
+	t.Logf("quality=%.3f subspaces=%.3f", rep.Quality, rep.SubspacesQuality)
+	if rep.Quality < 0.80 {
+		t.Errorf("Quality = %.3f, want >= 0.80", rep.Quality)
+	}
+	if rep.SubspacesQuality < 0.85 {
+		t.Errorf("Subspaces Quality = %.3f, want >= 0.85", rep.SubspacesQuality)
+	}
+}

@@ -1,0 +1,325 @@
+// Package ctree implements MrCC's Counting-tree (Section III-A of the
+// paper): a quadtree-like structure that represents a normalized dataset
+// as a stack of d-dimensional hyper-grids at H resolutions. Level h
+// (1 <= h <= H-1) partitions the unit hyper-cube into cells of side
+// 1/2^h; each cell stores its point count, per-axis half-space counts,
+// the usedCell flag consumed by the clustering phase, and a pointer to
+// its refinement at the next level. Only non-empty cells are stored, so
+// a level holds at most η cells even though the full grid has 2^(dh).
+package ctree
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+
+	"mrcc/internal/dataset"
+)
+
+// MaxDims bounds the dimensionality so a cell's relative position fits
+// in a single uint64 bit per axis.
+const MaxDims = 63
+
+// MinLevels is the smallest legal number of resolutions H (the paper
+// requires H >= 3 so that level 2, where the β-cluster search starts,
+// has a stored parent level).
+const MinLevels = 3
+
+// MaxLevels bounds H so that grid coordinates (up to 2^H per axis) stay
+// exactly representable in uint64/float64 arithmetic. Cells are already
+// singleton far shallower than this for any realistic dataset.
+const MaxLevels = 60
+
+// Cell is one hyper-grid cell. Loc is its position relative to its
+// parent: bit j set means the cell sits in the upper half of axis j.
+// P[j] counts the points in the cell's lower half along axis j.
+type Cell struct {
+	Loc      uint64
+	N        int32
+	P        []int32
+	Used     bool
+	Children *Node
+}
+
+// Node holds the children cells of one parent cell (or, for the root
+// node, the level-1 cells). Cells preserves first-touch order, which is
+// deterministic for a fixed input; index maps Loc to a Cells position.
+type Node struct {
+	Cells []*Cell
+	index map[uint64]int32
+}
+
+func newNode() *Node {
+	return &Node{index: make(map[uint64]int32, 4)}
+}
+
+// Find returns the cell with the given relative position, or nil.
+func (nd *Node) Find(loc uint64) *Cell {
+	if nd == nil {
+		return nil
+	}
+	if i, ok := nd.index[loc]; ok {
+		return nd.Cells[i]
+	}
+	return nil
+}
+
+// ensure returns the cell with the given relative position, creating it
+// (with a d-length half-space array) when absent.
+func (nd *Node) ensure(loc uint64, d int) *Cell {
+	if i, ok := nd.index[loc]; ok {
+		return nd.Cells[i]
+	}
+	c := &Cell{Loc: loc, P: make([]int32, d)}
+	nd.index[loc] = int32(len(nd.Cells))
+	nd.Cells = append(nd.Cells, c)
+	return c
+}
+
+// Tree is the Counting-tree over a normalized dataset.
+type Tree struct {
+	// D is the dataset dimensionality.
+	D int
+	// H is the number of resolutions; levels 1..H-1 are stored.
+	H int
+	// Eta is the number of points counted into the tree.
+	Eta int
+	// Root holds the level-1 cells.
+	Root *Node
+}
+
+// Build constructs the Counting-tree for a dataset normalized to
+// [0,1)^d, with H resolutions (Algorithm 1). It is a single scan over
+// the data: O(η·H·d) time, O(H·η·d) space.
+func Build(ds *dataset.Dataset, H int) (*Tree, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("ctree: empty dataset")
+	}
+	if ds.Dims > MaxDims {
+		return nil, fmt.Errorf("ctree: dimensionality %d exceeds the maximum %d", ds.Dims, MaxDims)
+	}
+	if H < MinLevels {
+		return nil, fmt.Errorf("ctree: H must be >= %d, got %d", MinLevels, H)
+	}
+	if H > MaxLevels {
+		return nil, fmt.Errorf("ctree: H must be <= %d, got %d", MaxLevels, H)
+	}
+	t := &Tree{D: ds.Dims, H: H, Root: newNode()}
+	for i, p := range ds.Points {
+		if err := t.Insert(p); err != nil {
+			return nil, fmt.Errorf("ctree: point %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// locAtLevel computes the relative position bits of the level-h cell
+// containing p: bit j is the parity of floor(p[j]·2^h), i.e. whether the
+// point is in the upper half of its level-(h-1) cell along axis j.
+func locAtLevel(p []float64, h int) (uint64, error) {
+	var loc uint64
+	scale := float64(uint64(1) << uint(h))
+	for j, v := range p {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			return 0, fmt.Errorf("axis %d value %g outside [0,1): dataset must be normalized", j, v)
+		}
+		if uint64(v*scale)&1 == 1 {
+			loc |= 1 << uint(j)
+		}
+	}
+	return loc, nil
+}
+
+// SideLen returns ξh = 1/2^h, the cell side length at level h.
+func SideLen(h int) float64 { return 1 / float64(uint64(1)<<uint(h)) }
+
+// Path identifies a cell by the sequence of relative positions from
+// level 1 down to the cell's level: Path[l-1] is the loc at level l.
+type Path []uint64
+
+// Level returns the tree level the path addresses.
+func (p Path) Level() int { return len(p) }
+
+// Coord returns the integer grid coordinate of the cell along axis j at
+// its own level: a Level()-bit number whose most significant bit comes
+// from level 1.
+func (p Path) Coord(j int) uint64 {
+	var c uint64
+	for _, loc := range p {
+		c <<= 1
+		if loc&(1<<uint(j)) != 0 {
+			c |= 1
+		}
+	}
+	return c
+}
+
+// Bounds returns the lower and upper bounds of the cell along axis j.
+func (p Path) Bounds(j int) (lo, hi float64) {
+	h := p.Level()
+	side := SideLen(h)
+	c := float64(p.Coord(j))
+	return c * side, (c + 1) * side
+}
+
+// Neighbor returns the path of the face neighbor along axis j (upper
+// side when upper is true). ok is false when the neighbor would fall
+// outside the unit cube. The receiver is not modified.
+func (p Path) Neighbor(j int, upper bool) (Path, bool) {
+	return p.NeighborInto(nil, j, upper)
+}
+
+// NeighborInto is Neighbor writing into dst (grown as needed), letting
+// hot loops — the convolution visits 2d neighbors per cell — avoid an
+// allocation per lookup. dst must not alias p.
+func (p Path) NeighborInto(dst Path, j int, upper bool) (Path, bool) {
+	h := p.Level()
+	c := p.Coord(j)
+	if upper {
+		if c == (uint64(1)<<uint(h))-1 {
+			return dst, false
+		}
+		c++
+	} else {
+		if c == 0 {
+			return dst, false
+		}
+		c--
+	}
+	out := append(dst[:0], p...)
+	mask := uint64(1) << uint(j)
+	for l := 0; l < h; l++ {
+		bit := (c >> uint(h-1-l)) & 1
+		if bit == 1 {
+			out[l] |= mask
+		} else {
+			out[l] &^= mask
+		}
+	}
+	return out, true
+}
+
+// Clone returns a copy of the path.
+func (p Path) Clone() Path { return append(Path(nil), p...) }
+
+// Compare orders paths lexicographically; it is the deterministic
+// tie-break used by the convolution scan.
+func (p Path) Compare(q Path) int {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case p[i] < q[i]:
+			return -1
+		case p[i] > q[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(p) < len(q):
+		return -1
+	case len(p) > len(q):
+		return 1
+	}
+	return 0
+}
+
+// CellAt walks the tree along the path and returns the addressed cell,
+// or nil when any step is absent.
+func (t *Tree) CellAt(p Path) *Cell {
+	node := t.Root
+	var c *Cell
+	for _, loc := range p {
+		if node == nil {
+			return nil
+		}
+		c = node.Find(loc)
+		if c == nil {
+			return nil
+		}
+		node = c.Children
+	}
+	return c
+}
+
+// ParentCell returns the cell addressed by all but the last step of the
+// path, or nil for level-1 paths.
+func (t *Tree) ParentCell(p Path) *Cell {
+	if len(p) < 2 {
+		return nil
+	}
+	return t.CellAt(p[:len(p)-1])
+}
+
+// WalkLevel visits every stored cell at level h in deterministic
+// (first-touch) order. The path passed to fn is reused across calls;
+// clone it to retain it.
+func (t *Tree) WalkLevel(h int, fn func(p Path, c *Cell)) {
+	if h < 1 || h > t.H-1 {
+		return
+	}
+	path := make(Path, 0, h)
+	t.walk(t.Root, path, h, fn)
+}
+
+func (t *Tree) walk(node *Node, path Path, h int, fn func(p Path, c *Cell)) {
+	if node == nil {
+		return
+	}
+	for _, c := range node.Cells {
+		p := append(path, c.Loc)
+		if len(p) == h {
+			fn(p, c)
+			continue
+		}
+		t.walk(c.Children, p, h, fn)
+	}
+}
+
+// LevelCellCount returns the number of stored cells at level h.
+func (t *Tree) LevelCellCount(h int) int {
+	n := 0
+	t.WalkLevel(h, func(Path, *Cell) { n++ })
+	return n
+}
+
+// MemoryBytes estimates the heap footprint of the tree: cells, half-space
+// arrays, child nodes and index maps. It is the figure the memory-usage
+// experiments report for MrCC.
+func (t *Tree) MemoryBytes() uint64 {
+	var total uint64
+	var visit func(nd *Node)
+	visit = func(nd *Node) {
+		if nd == nil {
+			return
+		}
+		total += uint64(unsafe.Sizeof(*nd))
+		total += uint64(cap(nd.Cells)) * uint64(unsafe.Sizeof((*Cell)(nil)))
+		total += uint64(len(nd.index)) * 16 // key+value+bucket overhead estimate
+		for _, c := range nd.Cells {
+			total += uint64(unsafe.Sizeof(*c))
+			total += uint64(cap(c.P)) * 4
+			visit(c.Children)
+		}
+	}
+	visit(t.Root)
+	return total
+}
+
+// ResetUsed clears every usedCell flag, allowing the clustering phase to
+// run again over the same tree.
+func (t *Tree) ResetUsed() {
+	var visit func(nd *Node)
+	visit = func(nd *Node) {
+		if nd == nil {
+			return
+		}
+		for _, c := range nd.Cells {
+			c.Used = false
+			visit(c.Children)
+		}
+	}
+	visit(t.Root)
+}

@@ -1,0 +1,288 @@
+package ctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrcc/internal/dataset"
+)
+
+func uniformDataset(t testing.TB, d, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.New(d, n)
+	for i := 0; i < n; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		ds.Append(p)
+	}
+	return ds
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Build(dataset.New(3, 0), 4); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds := uniformDataset(t, 3, 10, 1)
+	if _, err := Build(ds, 2); err == nil {
+		t.Error("H=2 accepted, minimum is 3")
+	}
+	big := uniformDataset(t, 3, 2, 1)
+	big.Dims = MaxDims + 1
+	big.Points[0] = make([]float64, MaxDims+1)
+	big.Points[1] = make([]float64, MaxDims+1)
+	if _, err := Build(big, 4); err == nil {
+		t.Error("dimensionality above MaxDims accepted")
+	}
+	bad, _ := dataset.FromRows([][]float64{{0.5, 1.5}})
+	if _, err := Build(bad, 4); err == nil {
+		t.Error("non-normalized dataset accepted")
+	}
+}
+
+func TestLevelCountsSumToEta(t *testing.T) {
+	ds := uniformDataset(t, 4, 500, 7)
+	tr, err := Build(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= tr.H-1; h++ {
+		sum := 0
+		tr.WalkLevel(h, func(_ Path, c *Cell) { sum += int(c.N) })
+		if sum != ds.Len() {
+			t.Errorf("level %d: counts sum to %d, want %d", h, sum, ds.Len())
+		}
+	}
+}
+
+func TestChildCountsSumToParent(t *testing.T) {
+	ds := uniformDataset(t, 3, 800, 11)
+	tr, err := Build(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= tr.H-2; h++ {
+		tr.WalkLevel(h, func(p Path, c *Cell) {
+			if c.Children == nil {
+				t.Fatalf("level %d cell has no children despite not being the deepest level", h)
+			}
+			sum := 0
+			for _, ch := range c.Children.Cells {
+				sum += int(ch.N)
+			}
+			if sum != int(c.N) {
+				t.Errorf("level %d cell: children sum %d != parent %d", h, sum, c.N)
+			}
+		})
+	}
+}
+
+func TestHalfSpaceCountsMatchData(t *testing.T) {
+	// Recompute every cell's half-space counts from the raw data and
+	// compare: P[j] counts the cell's points in its lower half along j.
+	ds := uniformDataset(t, 3, 400, 13)
+	const H = 4
+	tr, err := Build(ds, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= H-1; h++ {
+		tr.WalkLevel(h, func(p Path, c *Cell) {
+			for j := 0; j < tr.D; j++ {
+				lo, hi := p.Bounds(j)
+				mid := (lo + hi) / 2
+				want := 0
+				for _, pt := range ds.Points {
+					inside := true
+					for jj := 0; jj < tr.D; jj++ {
+						l2, h2 := p.Bounds(jj)
+						if pt[jj] < l2 || pt[jj] >= h2 {
+							inside = false
+							break
+						}
+					}
+					if inside && pt[j] < mid {
+						want++
+					}
+				}
+				if int(c.P[j]) != want {
+					t.Fatalf("level %d axis %d: P=%d, recomputed %d", h, j, c.P[j], want)
+				}
+			}
+		})
+	}
+}
+
+func TestCellAtFindsEveryWalkedCell(t *testing.T) {
+	ds := uniformDataset(t, 4, 300, 17)
+	tr, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= tr.H-1; h++ {
+		tr.WalkLevel(h, func(p Path, c *Cell) {
+			if got := tr.CellAt(p); got != c {
+				t.Fatalf("CellAt(%v) returned a different cell", p)
+			}
+		})
+	}
+	if tr.CellAt(Path{1 << 10}) != nil {
+		t.Error("CellAt for absent path should be nil")
+	}
+}
+
+func TestPathCoordRoundTrip(t *testing.T) {
+	// Property: building the path of a known coordinate and reading the
+	// coordinate back is the identity.
+	f := func(raw uint32, axis uint8, level uint8) bool {
+		h := int(level%6) + 1
+		d := int(axis%5) + 1
+		j := int(axis) % d
+		c := uint64(raw) & ((1 << uint(h)) - 1)
+		p := make(Path, h)
+		for l := 0; l < h; l++ {
+			if (c>>uint(h-1-l))&1 == 1 {
+				p[l] |= 1 << uint(j)
+			}
+		}
+		return p.Coord(j) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathNeighborGeometry(t *testing.T) {
+	// The face neighbor along axis j shifts the coordinate by exactly
+	// one cell and leaves every other axis untouched.
+	f := func(locs []uint8, axis uint8) bool {
+		if len(locs) == 0 || len(locs) > 8 {
+			return true
+		}
+		d := 4
+		j := int(axis) % d
+		p := make(Path, len(locs))
+		for i, l := range locs {
+			p[i] = uint64(l) & ((1 << uint(d)) - 1)
+		}
+		for _, upper := range []bool{false, true} {
+			np, ok := p.Neighbor(j, upper)
+			if !ok {
+				continue
+			}
+			want := int64(p.Coord(j)) - 1
+			if upper {
+				want = int64(p.Coord(j)) + 1
+			}
+			if int64(np.Coord(j)) != want {
+				return false
+			}
+			for jj := 0; jj < d; jj++ {
+				if jj != j && np.Coord(jj) != p.Coord(jj) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathNeighborAtBorders(t *testing.T) {
+	p := Path{0, 0} // coordinate 0 on every axis at level 2
+	if _, ok := p.Neighbor(0, false); ok {
+		t.Error("lower neighbor at coordinate 0 should not exist")
+	}
+	top := Path{1, 1} // coordinate 3 (max at level 2) on axis 0
+	if _, ok := top.Neighbor(0, true); ok {
+		t.Error("upper neighbor at the space border should not exist")
+	}
+	if np, ok := top.Neighbor(0, false); !ok || np.Coord(0) != 2 {
+		t.Error("lower neighbor of coordinate 3 should be 2")
+	}
+}
+
+func TestPathBounds(t *testing.T) {
+	p := Path{1, 0} // axis 0: bits 1,0 -> coord 2 at level 2 -> [0.5, 0.75)
+	lo, hi := p.Bounds(0)
+	if math.Abs(lo-0.5) > 1e-15 || math.Abs(hi-0.75) > 1e-15 {
+		t.Errorf("bounds = [%g, %g), want [0.5, 0.75)", lo, hi)
+	}
+}
+
+func TestPathCompare(t *testing.T) {
+	a := Path{0, 1}
+	b := Path{1, 0}
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("lexicographic comparison wrong")
+	}
+	short := Path{0}
+	if short.Compare(a) >= 0 {
+		t.Error("shorter prefix should order first")
+	}
+}
+
+func TestDeterministicWalkOrder(t *testing.T) {
+	ds := uniformDataset(t, 4, 200, 23)
+	t1, _ := Build(ds, 4)
+	t2, _ := Build(ds, 4)
+	var p1, p2 []Path
+	t1.WalkLevel(2, func(p Path, _ *Cell) { p1 = append(p1, p.Clone()) })
+	t2.WalkLevel(2, func(p Path, _ *Cell) { p2 = append(p2, p.Clone()) })
+	if len(p1) != len(p2) {
+		t.Fatalf("different cell counts: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].Compare(p2[i]) != 0 {
+			t.Fatalf("walk order differs at %d", i)
+		}
+	}
+}
+
+func TestResetUsed(t *testing.T) {
+	ds := uniformDataset(t, 3, 100, 29)
+	tr, _ := Build(ds, 4)
+	tr.WalkLevel(2, func(_ Path, c *Cell) { c.Used = true })
+	tr.ResetUsed()
+	tr.WalkLevel(2, func(_ Path, c *Cell) {
+		if c.Used {
+			t.Fatal("ResetUsed left a flag set")
+		}
+	})
+}
+
+func TestMemoryBytesGrowsWithData(t *testing.T) {
+	small, _ := Build(uniformDataset(t, 4, 100, 31), 4)
+	large, _ := Build(uniformDataset(t, 4, 10000, 31), 4)
+	if small.MemoryBytes() >= large.MemoryBytes() {
+		t.Errorf("memory should grow with data: %d vs %d", small.MemoryBytes(), large.MemoryBytes())
+	}
+}
+
+func TestSideLen(t *testing.T) {
+	for h, want := range map[int]float64{0: 1, 1: 0.5, 2: 0.25, 3: 0.125} {
+		if got := SideLen(h); got != want {
+			t.Errorf("SideLen(%d) = %g, want %g", h, got, want)
+		}
+	}
+}
+
+func TestLevelCellCountBounds(t *testing.T) {
+	ds := uniformDataset(t, 5, 1000, 37)
+	tr, _ := Build(ds, 4)
+	for h := 1; h <= 3; h++ {
+		n := tr.LevelCellCount(h)
+		if n < 1 || n > ds.Len() {
+			t.Errorf("level %d has %d cells, want within [1, %d]", h, n, ds.Len())
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package ctree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mrcc/internal/dataset"
+)
+
+// Insert counts one additional point (in [0,1)^d) into the tree,
+// exactly as Build's single scan does. The clustering phase can then be
+// re-run over the updated tree (after ResetUsed), which is how a
+// downstream system keeps clusters fresh while data streams in.
+func (t *Tree) Insert(p []float64) error {
+	if len(p) != t.D {
+		return fmt.Errorf("ctree: point has %d values, want %d", len(p), t.D)
+	}
+	node := t.Root
+	var prev *Cell
+	for h := 1; h <= t.H-1; h++ {
+		loc, err := locAtLevel(p, h)
+		if err != nil {
+			return fmt.Errorf("ctree: %w", err)
+		}
+		c := node.ensure(loc, t.D)
+		c.N++
+		if prev != nil {
+			for j := 0; j < t.D; j++ {
+				if loc&(1<<uint(j)) == 0 {
+					prev.P[j]++
+				}
+			}
+		}
+		if h < t.H-1 {
+			if c.Children == nil {
+				c.Children = newNode()
+			}
+			node = c.Children
+		}
+		prev = c
+	}
+	loc, err := locAtLevel(p, t.H)
+	if err != nil {
+		return fmt.Errorf("ctree: %w", err)
+	}
+	for j := 0; j < t.D; j++ {
+		if loc&(1<<uint(j)) == 0 {
+			prev.P[j]++
+		}
+	}
+	t.Eta++
+	return nil
+}
+
+// MergeFrom adds every count of other into t. Both trees must have the
+// same dimensionality and resolution count. other is left untouched;
+// use it to combine trees built over shards of one dataset.
+func (t *Tree) MergeFrom(other *Tree) error {
+	if other == nil {
+		return nil
+	}
+	if t.D != other.D || t.H != other.H {
+		return fmt.Errorf("ctree: cannot merge (d=%d, H=%d) with (d=%d, H=%d)",
+			t.D, t.H, other.D, other.H)
+	}
+	mergeNodes(t.Root, other.Root, t.D)
+	t.Eta += other.Eta
+	return nil
+}
+
+func mergeNodes(dst, src *Node, d int) {
+	if src == nil {
+		return
+	}
+	for _, sc := range src.Cells {
+		dc := dst.ensure(sc.Loc, d)
+		dc.N += sc.N
+		for j := 0; j < d; j++ {
+			dc.P[j] += sc.P[j]
+		}
+		if sc.Children != nil {
+			if dc.Children == nil {
+				dc.Children = newNode()
+			}
+			mergeNodes(dc.Children, sc.Children, d)
+		}
+	}
+}
+
+// BuildParallel builds the Counting-tree with `workers` goroutines, each
+// counting a shard of the dataset into a private tree, then merging.
+// It produces exactly the same counts as Build (cell iteration order may
+// differ, but the clustering phase's deterministic tie-break makes the
+// final clustering identical). workers <= 0 selects GOMAXPROCS.
+func BuildParallel(ds *dataset.Dataset, H, workers int) (*Tree, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("ctree: empty dataset")
+	}
+	if workers == 1 || ds.Len() < 4*workers {
+		return Build(ds, H)
+	}
+	shardSize := (ds.Len() + workers - 1) / workers
+	trees := make([]*Tree, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * shardSize
+		hi := lo + shardSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shard := &dataset.Dataset{Dims: ds.Dims, Points: ds.Points[lo:hi]}
+			trees[w], errs[w] = Build(shard, H)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var root *Tree
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		if trees[w] == nil {
+			continue
+		}
+		if root == nil {
+			root = trees[w]
+			continue
+		}
+		if err := root.MergeFrom(trees[w]); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}

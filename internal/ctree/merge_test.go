@@ -1,0 +1,130 @@
+package ctree
+
+import (
+	"testing"
+
+	"mrcc/internal/dataset"
+)
+
+// treesEqual compares two trees cell by cell (counts and half-space
+// counts), ignoring iteration order.
+func treesEqual(t *testing.T, a, b *Tree) bool {
+	t.Helper()
+	if a.D != b.D || a.H != b.H || a.Eta != b.Eta {
+		return false
+	}
+	equal := true
+	for h := 1; h <= a.H-1; h++ {
+		a.WalkLevel(h, func(p Path, ca *Cell) {
+			cb := b.CellAt(p)
+			if cb == nil || ca.N != cb.N {
+				equal = false
+				return
+			}
+			for j := 0; j < a.D; j++ {
+				if ca.P[j] != cb.P[j] {
+					equal = false
+					return
+				}
+			}
+		})
+		if a.LevelCellCount(h) != b.LevelCellCount(h) {
+			equal = false
+		}
+	}
+	return equal
+}
+
+func TestInsertMatchesBuild(t *testing.T) {
+	ds := uniformDataset(t, 4, 500, 3)
+	built, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental := &Tree{D: 4, H: 4, Root: newNode()}
+	for _, p := range ds.Points {
+		if err := incremental.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !treesEqual(t, built, incremental) {
+		t.Fatal("incremental insertion diverged from Build")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, err := Build(uniformDataset(t, 3, 10, 1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]float64{0.5, 0.5}); err == nil {
+		t.Error("wrong dimensionality accepted")
+	}
+	if err := tr.Insert([]float64{0.5, 0.5, 1.5}); err == nil {
+		t.Error("out-of-cube point accepted")
+	}
+	if tr.Eta != 10 {
+		t.Errorf("failed inserts changed Eta to %d", tr.Eta)
+	}
+}
+
+func TestMergeFromEqualsWholeBuild(t *testing.T) {
+	ds := uniformDataset(t, 5, 700, 7)
+	whole, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := ds.Len() / 2
+	left, err := Build(&dataset.Dataset{Dims: ds.Dims, Points: ds.Points[:half]}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := Build(&dataset.Dataset{Dims: ds.Dims, Points: ds.Points[half:]}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := left.MergeFrom(right); err != nil {
+		t.Fatal(err)
+	}
+	if !treesEqual(t, whole, left) {
+		t.Fatal("merged shards diverged from the whole build")
+	}
+}
+
+func TestMergeFromValidation(t *testing.T) {
+	a, _ := Build(uniformDataset(t, 3, 20, 1), 4)
+	b, _ := Build(uniformDataset(t, 4, 20, 1), 4)
+	if err := a.MergeFrom(b); err == nil {
+		t.Error("dimensionality mismatch accepted")
+	}
+	c, _ := Build(uniformDataset(t, 3, 20, 1), 5)
+	if err := a.MergeFrom(c); err == nil {
+		t.Error("resolution mismatch accepted")
+	}
+	if err := a.MergeFrom(nil); err != nil {
+		t.Errorf("nil merge should be a no-op, got %v", err)
+	}
+}
+
+func TestBuildParallelEqualsBuild(t *testing.T) {
+	ds := uniformDataset(t, 4, 2000, 11)
+	whole, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		par, err := BuildParallel(ds, 4, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !treesEqual(t, whole, par) {
+			t.Fatalf("workers=%d: parallel build diverged", workers)
+		}
+	}
+}
+
+func TestBuildParallelEmpty(t *testing.T) {
+	if _, err := BuildParallel(dataset.New(3, 0), 4, 2); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics and that anything it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("x,y\n1,2\n")
+	f.Add("1.5e308,-2\n")
+	f.Add("")
+	f.Add("a,b\n")
+	f.Add("1\n2,3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input), false)
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			// NaN/Inf literals parse as floats but fail validation;
+			// that is the documented contract, not a bug.
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf, false)
+		if err != nil {
+			t.Fatalf("serialized dataset failed to parse: %v", err)
+		}
+		if back.Len() != ds.Len() || back.Dims != ds.Dims {
+			t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)",
+				ds.Len(), ds.Dims, back.Len(), back.Dims)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary reader never panics or over-allocates
+// on corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	ds, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MRD1"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		back, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if back.Dims < 1 || back.Len() < 0 {
+			t.Fatalf("accepted implausible shape (%d, %d)", back.Len(), back.Dims)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses a dataset from CSV. When header is true the first record
+// is taken as axis names. Every record must have the same number of
+// fields, all parseable as floats.
+func ReadCSV(r io.Reader, header bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var ds *Dataset
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		line++
+		if line == 1 {
+			if len(rec) == 0 {
+				return nil, errors.New("dataset: empty CSV record")
+			}
+			ds = New(len(rec), 1024)
+			if header {
+				ds.Names = append([]string(nil), rec...)
+				continue
+			}
+		}
+		p := make([]float64, len(rec))
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", line, j+1, err)
+			}
+			p[j] = v
+		}
+		if len(p) != ds.Dims {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(p), ds.Dims)
+		}
+		ds.Points = append(ds.Points, p)
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, errors.New("dataset: no data rows")
+	}
+	return ds, nil
+}
+
+// WriteCSV writes the dataset as CSV; a header row is emitted when the
+// dataset has axis names.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if ds.Names != nil {
+		if err := cw.Write(ds.Names); err != nil {
+			return fmt.Errorf("dataset: writing CSV header: %w", err)
+		}
+	}
+	rec := make([]string, ds.Dims)
+	for _, p := range ds.Points {
+		for j, v := range p {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSVFile reads a dataset from the named CSV file.
+func LoadCSVFile(path string, header bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(bufio.NewReader(f), header)
+}
+
+// SaveCSVFile writes the dataset to the named CSV file.
+func (ds *Dataset) SaveCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := ds.WriteCSV(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// binaryMagic identifies the compact binary dataset format.
+var binaryMagic = [4]byte{'M', 'R', 'D', '1'}
+
+// WriteBinary serializes the dataset in a compact little-endian binary
+// format: magic, d, η, then η·d float64 values.
+func (ds *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("dataset: writing binary: %w", err)
+	}
+	hdr := [16]byte{}
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(ds.Dims))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(ds.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("dataset: writing binary: %w", err)
+	}
+	buf := make([]byte, 8*ds.Dims)
+	for _, p := range ds.Points {
+		for j, v := range p {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: writing binary: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading binary magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("dataset: bad binary magic")
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading binary header: %w", err)
+	}
+	d := int(binary.LittleEndian.Uint64(hdr[0:8]))
+	n := int(binary.LittleEndian.Uint64(hdr[8:16]))
+	if d < 1 || d > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible dimensionality %d", d)
+	}
+	if n < 0 || n > 1<<40 {
+		return nil, fmt.Errorf("dataset: implausible point count %d", n)
+	}
+	ds := New(d, n)
+	buf := make([]byte, 8*d)
+	backing := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: reading binary point %d: %w", i, err)
+		}
+		p := backing[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		ds.Points = append(ds.Points, p)
+	}
+	return ds, nil
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, _ := FromRows([][]float64{{1.5, -2}, {0.25, 1e-9}})
+	ds.Names = []string{"x", "y"}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dims != 2 || back.Len() != 2 {
+		t.Fatalf("round trip shape d=%d n=%d", back.Dims, back.Len())
+	}
+	if back.Names[0] != "x" || back.Names[1] != "y" {
+		t.Errorf("names lost: %v", back.Names)
+	}
+	for i := range ds.Points {
+		for j := range ds.Points[i] {
+			if ds.Points[i][j] != back.Points[i][j] {
+				t.Errorf("point %d axis %d: %g != %g", i, j, ds.Points[i][j], back.Points[i][j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), false); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3,nope\n"), false); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("x,y\n"), true); err == nil {
+		t.Error("header-only input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), false); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	ds, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err := ds.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSVFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Dims != 3 {
+		t.Fatalf("shape d=%d n=%d", back.Dims, back.Len())
+	}
+	if _, err := LoadCSVFile(filepath.Join(dir, "absent.csv"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds, _ := FromRows([][]float64{
+		{0, math.Pi, -math.MaxFloat64},
+		{math.SmallestNonzeroFloat64, 1, 2},
+	})
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Points {
+		for j := range ds.Points[i] {
+			if ds.Points[i][j] != back.Points[i][j] {
+				t.Errorf("point %d axis %d: %g != %g", i, j, ds.Points[i][j], back.Points[i][j])
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("MRD1\x00\x00"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Valid magic + header claiming more points than the body holds.
+	var buf bytes.Buffer
+	ds, _ := FromRows([][]float64{{1, 2}})
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Package eval implements the clustering quality measurements of
+// Section IV-A of the paper: per-cluster precision and recall against
+// most-dominant counterparts, their harmonic-mean combination (Quality)
+// and the analogous measure over relevant-axis sets (Subspaces Quality).
+package eval
+
+import (
+	"fmt"
+
+	"mrcc/internal/stats"
+)
+
+// Noise is the label of points belonging to no cluster, in both found
+// and real clusterings.
+const Noise = -1
+
+// Clustering is a labeling of η points into clusters 0..k-1 (or Noise),
+// optionally with each cluster's relevant-axis flags.
+type Clustering struct {
+	// Labels[i] is the cluster of point i, or Noise.
+	Labels []int
+	// Relevant[k][j] reports whether axis j is relevant to cluster k.
+	// May be nil when the method does not report subspaces (e.g. LAC).
+	Relevant [][]bool
+}
+
+// NumClusters returns the number of clusters (max label + 1).
+func (c *Clustering) NumClusters() int {
+	n := 0
+	for _, l := range c.Labels {
+		if l != Noise && l+1 > n {
+			n = l + 1
+		}
+	}
+	if c.Relevant != nil && len(c.Relevant) > n {
+		n = len(c.Relevant)
+	}
+	return n
+}
+
+// Report carries every measurement of one comparison between a found and
+// a real clustering.
+type Report struct {
+	// Quality is the harmonic mean of AvgPrecision and AvgRecall over
+	// point sets (the paper's main accuracy number).
+	Quality float64
+	// SubspacesQuality is the analogous harmonic mean over axis sets;
+	// zero when either side carries no subspace information.
+	SubspacesQuality float64
+	// AvgPrecision averages, over found clusters, the fraction of each
+	// found cluster's points inside its most dominant real cluster.
+	AvgPrecision float64
+	// AvgRecall averages, over real clusters, the fraction of each real
+	// cluster's points inside its most dominant found cluster.
+	AvgRecall float64
+	// FoundClusters and RealClusters count the compared clusters.
+	FoundClusters, RealClusters int
+}
+
+// Compare scores a found clustering against the real one. Both labelings
+// must cover the same points. When the found clustering has no clusters
+// the paper assigns Quality zero, and so does Compare.
+func Compare(found, real *Clustering) (Report, error) {
+	if len(found.Labels) != len(real.Labels) {
+		return Report{}, fmt.Errorf("eval: found has %d labels, real has %d", len(found.Labels), len(real.Labels))
+	}
+	fk := found.NumClusters()
+	rk := real.NumClusters()
+	rep := Report{FoundClusters: fk, RealClusters: rk}
+	if fk == 0 || rk == 0 {
+		return rep, nil
+	}
+
+	// Contingency table and cluster sizes.
+	inter := make([][]int, fk)
+	for i := range inter {
+		inter[i] = make([]int, rk)
+	}
+	fsize := make([]int, fk)
+	rsize := make([]int, rk)
+	for i, fl := range found.Labels {
+		rl := real.Labels[i]
+		if fl != Noise {
+			fsize[fl]++
+		}
+		if rl != Noise {
+			rsize[rl]++
+		}
+		if fl != Noise && rl != Noise {
+			inter[fl][rl]++
+		}
+	}
+
+	// dominantReal[f] is the real cluster sharing the most points with
+	// found cluster f; dominantFound[r] symmetric.
+	dominantReal := make([]int, fk)
+	for f := 0; f < fk; f++ {
+		best, bestV := 0, -1
+		for r := 0; r < rk; r++ {
+			if inter[f][r] > bestV {
+				best, bestV = r, inter[f][r]
+			}
+		}
+		dominantReal[f] = best
+	}
+	dominantFound := make([]int, rk)
+	for r := 0; r < rk; r++ {
+		best, bestV := 0, -1
+		for f := 0; f < fk; f++ {
+			if inter[f][r] > bestV {
+				best, bestV = f, inter[f][r]
+			}
+		}
+		dominantFound[r] = best
+	}
+
+	// Averaged precision over found clusters, recall over real clusters
+	// (Equations 1 and 2 of the paper).
+	sumP := 0.0
+	for f := 0; f < fk; f++ {
+		if fsize[f] > 0 {
+			sumP += float64(inter[f][dominantReal[f]]) / float64(fsize[f])
+		}
+	}
+	rep.AvgPrecision = sumP / float64(fk)
+	sumR := 0.0
+	for r := 0; r < rk; r++ {
+		if rsize[r] > 0 {
+			sumR += float64(inter[r2f(dominantFound, r)][r]) / float64(rsize[r])
+		}
+	}
+	rep.AvgRecall = sumR / float64(rk)
+	rep.Quality = stats.HarmonicMean(rep.AvgPrecision, rep.AvgRecall)
+
+	// Subspaces Quality: same construction with axis sets swapped in for
+	// point sets, keeping the point-based dominant pairing.
+	if found.Relevant != nil && real.Relevant != nil {
+		sp := 0.0
+		for f := 0; f < fk; f++ {
+			sp += axisPrecision(axisSet(found.Relevant, f), axisSet(real.Relevant, dominantReal[f]))
+		}
+		sp /= float64(fk)
+		sr := 0.0
+		for r := 0; r < rk; r++ {
+			sr += axisPrecision(axisSet(real.Relevant, r), axisSet(found.Relevant, dominantFound[r]))
+		}
+		sr /= float64(rk)
+		rep.SubspacesQuality = stats.HarmonicMean(sp, sr)
+	}
+	return rep, nil
+}
+
+func r2f(dominantFound []int, r int) int { return dominantFound[r] }
+
+// axisSet returns the relevant-axis flags of cluster k, or nil when the
+// clustering carries none for it.
+func axisSet(relevant [][]bool, k int) []bool {
+	if k < 0 || k >= len(relevant) {
+		return nil
+	}
+	return relevant[k]
+}
+
+// axisPrecision returns |a ∩ b| / |a| over axis flag sets, 0 when a is
+// empty or either set is missing.
+func axisPrecision(a, b []bool) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	na, ninter := 0, 0
+	for j := range a {
+		if a[j] {
+			na++
+			if j < len(b) && b[j] {
+				ninter++
+			}
+		}
+	}
+	if na == 0 {
+		return 0
+	}
+	return float64(ninter) / float64(na)
+}

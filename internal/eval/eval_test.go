@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComparePerfectMatch(t *testing.T) {
+	labels := []int{0, 0, 1, 1, Noise}
+	rel := [][]bool{{true, false}, {false, true}}
+	rep, err := Compare(
+		&Clustering{Labels: labels, Relevant: rel},
+		&Clustering{Labels: labels, Relevant: rel},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quality != 1 || rep.SubspacesQuality != 1 {
+		t.Errorf("perfect match: Quality=%g Subspaces=%g, want 1, 1", rep.Quality, rep.SubspacesQuality)
+	}
+	if rep.AvgPrecision != 1 || rep.AvgRecall != 1 {
+		t.Errorf("precision/recall = %g/%g", rep.AvgPrecision, rep.AvgRecall)
+	}
+}
+
+func TestCompareNoFoundClusters(t *testing.T) {
+	real := []int{0, 0, 1, 1}
+	found := []int{Noise, Noise, Noise, Noise}
+	rep, err := Compare(&Clustering{Labels: found}, &Clustering{Labels: real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quality != 0 {
+		t.Errorf("no clusters found must give Quality 0, got %g", rep.Quality)
+	}
+}
+
+func TestCompareLengthMismatch(t *testing.T) {
+	if _, err := Compare(&Clustering{Labels: []int{0}}, &Clustering{Labels: []int{0, 1}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCompareMergedClusters(t *testing.T) {
+	// Found merges two equally-sized real clusters into one: precision
+	// for the found cluster is 0.5 against its dominant real cluster;
+	// one real cluster recalls 1.0, the other 0 (its dominant found
+	// cluster still holds all its points -> also 1.0 actually).
+	real := []int{0, 0, 1, 1}
+	found := []int{0, 0, 0, 0}
+	rep, err := Compare(&Clustering{Labels: found}, &Clustering{Labels: real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.AvgPrecision-0.5) > 1e-12 {
+		t.Errorf("merged precision = %g, want 0.5", rep.AvgPrecision)
+	}
+	if math.Abs(rep.AvgRecall-1.0) > 1e-12 {
+		t.Errorf("merged recall = %g, want 1.0", rep.AvgRecall)
+	}
+	want := 2 * 0.5 * 1.0 / 1.5
+	if math.Abs(rep.Quality-want) > 1e-12 {
+		t.Errorf("merged quality = %g, want %g", rep.Quality, want)
+	}
+}
+
+func TestCompareSplitClusters(t *testing.T) {
+	// Found splits one real cluster into two pure halves: precision 1,
+	// recall 0.5 for the real cluster (its dominant found holds half).
+	real := []int{0, 0, 0, 0}
+	found := []int{0, 0, 1, 1}
+	rep, err := Compare(&Clustering{Labels: found}, &Clustering{Labels: real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgPrecision != 1 {
+		t.Errorf("split precision = %g, want 1", rep.AvgPrecision)
+	}
+	if rep.AvgRecall != 0.5 {
+		t.Errorf("split recall = %g, want 0.5", rep.AvgRecall)
+	}
+}
+
+func TestSubspacesQualityPartialOverlap(t *testing.T) {
+	real := []int{0, 0}
+	found := []int{0, 0}
+	// Found axes {0,1}, real axes {1,2}: precision = recall = 1/2.
+	rep, err := Compare(
+		&Clustering{Labels: found, Relevant: [][]bool{{true, true, false}}},
+		&Clustering{Labels: real, Relevant: [][]bool{{false, true, true}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SubspacesQuality-0.5) > 1e-12 {
+		t.Errorf("Subspaces Quality = %g, want 0.5", rep.SubspacesQuality)
+	}
+}
+
+func TestSubspacesQualityMissingInfo(t *testing.T) {
+	labels := []int{0, 0}
+	rep, err := Compare(
+		&Clustering{Labels: labels}, // no subspace info (e.g. LAC)
+		&Clustering{Labels: labels, Relevant: [][]bool{{true}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SubspacesQuality != 0 {
+		t.Errorf("missing subspace info must yield 0, got %g", rep.SubspacesQuality)
+	}
+}
+
+func TestNumClusters(t *testing.T) {
+	c := &Clustering{Labels: []int{Noise, 2, 0}}
+	if c.NumClusters() != 3 {
+		t.Errorf("NumClusters = %d, want 3", c.NumClusters())
+	}
+	empty := &Clustering{Labels: []int{Noise, Noise}}
+	if empty.NumClusters() != 0 {
+		t.Errorf("NumClusters = %d, want 0", empty.NumClusters())
+	}
+	withAxes := &Clustering{Labels: []int{0}, Relevant: [][]bool{{true}, {false}}}
+	if withAxes.NumClusters() != 2 {
+		t.Errorf("NumClusters with extra axis rows = %d, want 2", withAxes.NumClusters())
+	}
+}
+
+func TestCompareQualityBounds(t *testing.T) {
+	// Property: Quality and Subspaces Quality always lie in [0,1], and
+	// comparing a clustering against itself yields Quality 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(100)
+		rk := 1 + rng.Intn(5)
+		fk := 1 + rng.Intn(5)
+		real := &Clustering{Labels: make([]int, n)}
+		found := &Clustering{Labels: make([]int, n)}
+		for i := 0; i < n; i++ {
+			// Guarantee every cluster id occurs so self-comparison is
+			// exact (empty ids legitimately score below 1).
+			if i < rk {
+				real.Labels[i] = i
+			} else {
+				real.Labels[i] = rng.Intn(rk+1) - 1
+			}
+			if i < fk {
+				found.Labels[i] = i
+			} else {
+				found.Labels[i] = rng.Intn(fk+1) - 1
+			}
+		}
+		rep, err := Compare(found, real)
+		if err != nil {
+			return false
+		}
+		if rep.Quality < 0 || rep.Quality > 1 || rep.SubspacesQuality < 0 || rep.SubspacesQuality > 1 {
+			return false
+		}
+		self, err := Compare(real, real)
+		if err != nil {
+			return false
+		}
+		return self.RealClusters == 0 || self.Quality > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the standard external clustering indices a
+// clustering library is expected to ship alongside the paper's Quality
+// measure: Rand index, adjusted Rand index, normalized mutual
+// information and pairwise F1. They treat Noise as its own singleton
+// group per point (the convention of the subspace-clustering evaluation
+// literature), so two clusterings that disagree only on noise still
+// score below 1.
+
+// Indices bundles the external index values of one comparison.
+type Indices struct {
+	// Rand is the fraction of point pairs on which the clusterings agree.
+	Rand float64
+	// AdjustedRand is the Rand index corrected for chance (Hubert &
+	// Arabie); 1 for identical clusterings, ~0 for independent ones.
+	AdjustedRand float64
+	// NMI is the normalized mutual information (arithmetic-mean
+	// normalization) between the two labelings.
+	NMI float64
+	// PairwiseF1 is the harmonic mean of pair precision and pair recall
+	// (a pair counts when both points share a cluster).
+	PairwiseF1 float64
+}
+
+// CompareIndices computes the external indices between a found and a
+// real labeling of the same points.
+func CompareIndices(found, real []int) (Indices, error) {
+	if len(found) != len(real) {
+		return Indices{}, fmt.Errorf("eval: found has %d labels, real has %d", len(found), len(real))
+	}
+	n := len(found)
+	if n == 0 {
+		return Indices{}, fmt.Errorf("eval: empty labelings")
+	}
+	// Remap labels to dense ids, giving each noise point its own id.
+	f := densify(found)
+	r := densify(real)
+	fk := maxLabel(f) + 1
+	rk := maxLabel(r) + 1
+
+	// Contingency table.
+	table := make([][]int, fk)
+	for i := range table {
+		table[i] = make([]int, rk)
+	}
+	fsum := make([]int, fk)
+	rsum := make([]int, rk)
+	for i := 0; i < n; i++ {
+		table[f[i]][r[i]]++
+		fsum[f[i]]++
+		rsum[r[i]]++
+	}
+
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumNij, sumNi, sumNj float64
+	for i := 0; i < fk; i++ {
+		for j := 0; j < rk; j++ {
+			sumNij += choose2(table[i][j])
+		}
+	}
+	for _, s := range fsum {
+		sumNi += choose2(s)
+	}
+	for _, s := range rsum {
+		sumNj += choose2(s)
+	}
+	total := choose2(n)
+
+	var idx Indices
+	// Rand: (agreements) / (all pairs). Agreements = pairs together in
+	// both + pairs apart in both.
+	idx.Rand = (total + 2*sumNij - sumNi - sumNj) / total
+	// Adjusted Rand.
+	expected := sumNi * sumNj / total
+	maxIdx := (sumNi + sumNj) / 2
+	if denom := maxIdx - expected; denom != 0 {
+		idx.AdjustedRand = (sumNij - expected) / denom
+	} else {
+		idx.AdjustedRand = 1 // both clusterings are all-singletons or one cluster
+	}
+	// Pairwise F1.
+	if sumNi > 0 && sumNj > 0 {
+		prec := sumNij / sumNi
+		rec := sumNij / sumNj
+		if prec+rec > 0 {
+			idx.PairwiseF1 = 2 * prec * rec / (prec + rec)
+		}
+	} else if sumNi == 0 && sumNj == 0 {
+		idx.PairwiseF1 = 1 // no pairs anywhere: vacuous agreement
+	}
+	// NMI with arithmetic normalization.
+	idx.NMI = nmi(table, fsum, rsum, n)
+	return idx, nil
+}
+
+// densify maps labels (with Noise) to 0..k-1, assigning every noise
+// point a fresh singleton id.
+func densify(labels []int) []int {
+	out := make([]int, len(labels))
+	next := 0
+	seen := make(map[int]int)
+	for i, l := range labels {
+		if l == Noise {
+			out[i] = -1 // patched below
+			continue
+		}
+		id, ok := seen[l]
+		if !ok {
+			id = next
+			next++
+			seen[l] = id
+		}
+		out[i] = id
+	}
+	for i, l := range out {
+		if l == -1 {
+			out[i] = next
+			next++
+		}
+	}
+	return out
+}
+
+func maxLabel(labels []int) int {
+	m := -1
+	for _, l := range labels {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// nmi computes normalized mutual information from a contingency table.
+func nmi(table [][]int, fsum, rsum []int, n int) float64 {
+	fn := float64(n)
+	var mi float64
+	for i := range table {
+		for j := range table[i] {
+			nij := float64(table[i][j])
+			if nij == 0 {
+				continue
+			}
+			mi += nij / fn * math.Log(nij*fn/(float64(fsum[i])*float64(rsum[j])))
+		}
+	}
+	entropy := func(sums []int) float64 {
+		h := 0.0
+		for _, s := range sums {
+			if s > 0 {
+				p := float64(s) / fn
+				h -= p * math.Log(p)
+			}
+		}
+		return h
+	}
+	hf, hr := entropy(fsum), entropy(rsum)
+	if hf == 0 && hr == 0 {
+		return 1 // both trivial and identical in structure
+	}
+	denom := (hf + hr) / 2
+	if denom == 0 {
+		return 0
+	}
+	v := mi / denom
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndicesIdenticalClusterings(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2, 2}
+	idx, err := CompareIndices(labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Rand != 1 || idx.AdjustedRand != 1 || idx.PairwiseF1 != 1 {
+		t.Errorf("identical clusterings: %+v", idx)
+	}
+	if math.Abs(idx.NMI-1) > 1e-12 {
+		t.Errorf("NMI = %g, want 1", idx.NMI)
+	}
+}
+
+func TestIndicesPermutedLabelsAreIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	b := []int{2, 2, 0, 0, 1} // same partition, renamed
+	idx, err := CompareIndices(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Rand != 1 || idx.AdjustedRand != 1 {
+		t.Errorf("permuted labels should be identical: %+v", idx)
+	}
+}
+
+func TestIndicesKnownRand(t *testing.T) {
+	// Classic example: n=4, found={0,0,1,1}, real={0,1,0,1}:
+	// no pair agrees on "together" (each clustering has 2 together
+	// pairs, none shared); apart-agreements: the 4 cross pairs minus...
+	// direct count: pairs (6 total): together in f: {01,23}; in r:
+	// {02,13}. Agreements = pairs apart in both = {03,12} -> 2. Rand=1/3.
+	idx, err := CompareIndices([]int{0, 0, 1, 1}, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(idx.Rand-1.0/3.0) > 1e-12 {
+		t.Errorf("Rand = %g, want 1/3", idx.Rand)
+	}
+	if idx.PairwiseF1 != 0 {
+		t.Errorf("PairwiseF1 = %g, want 0", idx.PairwiseF1)
+	}
+}
+
+func TestIndicesNoiseIsSingletons(t *testing.T) {
+	// All-noise vs all-noise: every point is its own singleton in both,
+	// so the partitions agree perfectly (all pairs apart).
+	noise := []int{Noise, Noise, Noise}
+	idx, err := CompareIndices(noise, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Rand != 1 {
+		t.Errorf("all-noise Rand = %g, want 1", idx.Rand)
+	}
+	// Noise vs one big cluster must disagree.
+	one := []int{0, 0, 0}
+	idx2, err := CompareIndices(noise, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Rand != 0 {
+		t.Errorf("noise-vs-cluster Rand = %g, want 0", idx2.Rand)
+	}
+}
+
+func TestIndicesValidation(t *testing.T) {
+	if _, err := CompareIndices([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CompareIndices(nil, nil); err == nil {
+		t.Error("empty labelings accepted")
+	}
+}
+
+func TestIndicesBoundsAndSymmetryProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(4) - 1 // -1..2, -1 = noise
+			b[i] = rng.Intn(4) - 1
+		}
+		ab, err := CompareIndices(a, b)
+		if err != nil {
+			return false
+		}
+		ba, err := CompareIndices(b, a)
+		if err != nil {
+			return false
+		}
+		inRange := func(v float64) bool { return v >= -1.0001 && v <= 1.0001 }
+		if !inRange(ab.Rand) || !inRange(ab.AdjustedRand) || !inRange(ab.NMI) || !inRange(ab.PairwiseF1) {
+			return false
+		}
+		// Rand, ARI, NMI and pairwise F1 are all symmetric.
+		const tol = 1e-9
+		return math.Abs(ab.Rand-ba.Rand) < tol &&
+			math.Abs(ab.AdjustedRand-ba.AdjustedRand) < tol &&
+			math.Abs(ab.NMI-ba.NMI) < tol &&
+			math.Abs(ab.PairwiseF1-ba.PairwiseF1) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndicesSelfComparisonIsPerfect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		a := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(5) - 1
+		}
+		idx, err := CompareIndices(a, a)
+		if err != nil {
+			return false
+		}
+		return idx.Rand == 1 && math.Abs(idx.NMI-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARIRandomLabelingsNearZero(t *testing.T) {
+	// ARI of two independent random labelings should hover around 0.
+	rng := rand.New(rand.NewSource(9))
+	sum := 0.0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		n := 200
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		idx, err := CompareIndices(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += idx.AdjustedRand
+	}
+	if mean := sum / trials; math.Abs(mean) > 0.05 {
+		t.Errorf("mean ARI of independent labelings = %g, want ~0", mean)
+	}
+}

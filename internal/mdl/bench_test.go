@@ -1,0 +1,24 @@
+package mdl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func BenchmarkCut(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	o := make([]float64, 30)
+	for i := range o {
+		if i < 12 {
+			o[i] = 20 + 20*rng.Float64()
+		} else {
+			o[i] = 85 + 15*rng.Float64()
+		}
+	}
+	sort.Float64s(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cut(o)
+	}
+}

@@ -1,0 +1,126 @@
+// Package plot renders tiny terminal visualizations — 2-D scatter plots
+// with per-cluster glyphs and per-axis density histograms — used by the
+// examples and handy when eyeballing what MrCC found on a new dataset.
+// Everything is plain text; no terminal control sequences.
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// glyphs label clusters 0..n in scatter plots; noise is always '·'.
+const glyphs = "oxv*#@%&+=ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// NoiseGlyph marks noise points.
+const NoiseGlyph = '·'
+
+// Scatter renders the projection of points onto axes (ax, ay) as a
+// width×height character grid. labels assigns each point a cluster (or
+// a negative value for noise); pass nil to draw every point with 'o'.
+// Points must lie in [0,1) on both axes (MrCC's normalized space).
+// When several points land on one character cell, a cluster glyph wins
+// over noise, and lower cluster ids win ties.
+func Scatter(points [][]float64, labels []int, ax, ay, width, height int) string {
+	if width < 2 || height < 2 {
+		return ""
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	rank := func(g rune) int {
+		if g == ' ' {
+			return -2
+		}
+		if g == NoiseGlyph {
+			return -1
+		}
+		return strings.IndexRune(glyphs, g)
+	}
+	for i, p := range points {
+		if ax >= len(p) || ay >= len(p) {
+			continue
+		}
+		x, y := p[ax], p[ay]
+		if x < 0 || x >= 1 || y < 0 || y >= 1 {
+			continue
+		}
+		col := int(x * float64(width))
+		row := height - 1 - int(y*float64(height))
+		g := NoiseGlyph
+		if labels != nil && i < len(labels) && labels[i] >= 0 {
+			g = rune(glyphs[labels[i]%len(glyphs)])
+		} else if labels == nil {
+			g = 'o'
+		}
+		// Cluster glyphs beat noise; among clusters, smaller id wins so
+		// the image is deterministic.
+		cur := grid[row][col]
+		switch {
+		case cur == ' ':
+			grid[row][col] = g
+		case g != NoiseGlyph && (cur == NoiseGlyph || rank(g) < rank(cur)):
+			grid[row][col] = g
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	sb.WriteString(fmt.Sprintf("x: axis %d    y: axis %d    %c noise\n", ax, ay, NoiseGlyph))
+	return sb.String()
+}
+
+// Histogram renders the density of one axis as a horizontal bar chart
+// with `bins` rows of up to `width` filled cells.
+func Histogram(points [][]float64, axis, bins, width int) string {
+	if bins < 1 || width < 1 {
+		return ""
+	}
+	counts := make([]int, bins)
+	maxCount := 0
+	for _, p := range points {
+		if axis >= len(p) {
+			continue
+		}
+		v := p[axis]
+		if v < 0 || v >= 1 {
+			continue
+		}
+		b := int(v * float64(bins))
+		counts[b]++
+		if counts[b] > maxCount {
+			maxCount = counts[b]
+		}
+	}
+	var sb strings.Builder
+	for b, c := range counts {
+		lo := float64(b) / float64(bins)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		sb.WriteString(fmt.Sprintf("%5.2f |%-*s| %d\n", lo, width, strings.Repeat("#", bar), c))
+	}
+	return sb.String()
+}
+
+// ClusterLegend lists each cluster id with its scatter glyph.
+func ClusterLegend(numClusters int) string {
+	var sb strings.Builder
+	for k := 0; k < numClusters; k++ {
+		if k > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(fmt.Sprintf("%c=cluster %d", glyphs[k%len(glyphs)], k))
+	}
+	return sb.String()
+}

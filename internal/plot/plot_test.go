@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterPlacesPoints(t *testing.T) {
+	points := [][]float64{
+		{0.05, 0.05}, // bottom-left
+		{0.95, 0.95}, // top-right
+		{0.5, 0.5},   // middle, noise
+	}
+	labels := []int{0, 1, -1}
+	out := Scatter(points, labels, 0, 1, 20, 10)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+	// Row 1 is the top border; data rows are 1..10.
+	top := lines[1]
+	bottom := lines[10]
+	if !strings.Contains(top, "x") {
+		t.Errorf("top-right glyph missing in %q", top)
+	}
+	if !strings.Contains(bottom, "o") {
+		t.Errorf("bottom-left glyph missing in %q", bottom)
+	}
+	if !strings.Contains(out, string(NoiseGlyph)) {
+		t.Error("noise glyph missing")
+	}
+}
+
+func TestScatterClusterBeatsNoise(t *testing.T) {
+	points := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	labels := []int{-1, 2}
+	out := Scatter(points, labels, 0, 1, 10, 10)
+	if !strings.Contains(out, "v") { // glyph of cluster 2
+		t.Errorf("cluster glyph lost to noise:\n%s", out)
+	}
+}
+
+func TestScatterEdgeCases(t *testing.T) {
+	if Scatter(nil, nil, 0, 1, 1, 1) != "" {
+		t.Error("degenerate size should render nothing")
+	}
+	// Out-of-range points and axes are skipped silently: every grid row
+	// stays blank (the footer legend text is not part of the grid).
+	out := Scatter([][]float64{{2, 2}, {0.5}}, nil, 0, 1, 10, 5)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") && strings.ContainsRune(line, 'o') {
+			t.Errorf("out-of-range point was drawn: %q", line)
+		}
+	}
+}
+
+func TestHistogramShape(t *testing.T) {
+	points := [][]float64{{0.1}, {0.1}, {0.1}, {0.9}}
+	out := Histogram(points, 0, 4, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d rows, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Errorf("fullest bin should reach full width: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[0], " 3") {
+		t.Errorf("bin count missing: %q", lines[0])
+	}
+	if Histogram(points, 0, 0, 10) != "" {
+		t.Error("zero bins should render nothing")
+	}
+}
+
+func TestClusterLegend(t *testing.T) {
+	out := ClusterLegend(3)
+	for _, want := range []string{"o=cluster 0", "x=cluster 1", "v=cluster 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legend missing %q in %q", want, out)
+		}
+	}
+	if ClusterLegend(0) != "" {
+		t.Error("empty legend should be empty")
+	}
+}

@@ -1,0 +1,119 @@
+// Package mrcc implements MrCC (Multi-resolution Correlation Cluster
+// detection), the correlation / subspace clustering method of Cordeiro,
+// Traina, Faloutsos and Traina Jr., "Finding Clusters in Subspaces of
+// Very Large, Multi-dimensional Datasets", ICDE 2010.
+//
+// MrCC finds clusters that exist in subspaces of a 5-to-30-dimensional
+// dataset together with the axes relevant to each cluster. It is
+// deterministic, needs no "number of clusters" parameter, performs no
+// distance calculations, and is linear in the number of points.
+//
+// Basic use:
+//
+//	res, err := mrcc.Run(rows, mrcc.Config{})       // raw data, any scale
+//	res, err = mrcc.RunNormalized(ds, mrcc.Config{}) // data already in [0,1)^d
+//
+// res.Labels assigns every input point a cluster ID or mrcc.Noise;
+// res.Clusters carries each cluster's relevant axes.
+package mrcc
+
+import (
+	"mrcc/internal/core"
+	"mrcc/internal/dataset"
+)
+
+// Noise is the label assigned to points belonging to no cluster.
+const Noise = core.Noise
+
+// DefaultAlpha is the significance level used when Config.Alpha is zero;
+// it is the value the paper fixes for all experiments.
+const DefaultAlpha = core.DefaultAlpha
+
+// DefaultH is the Counting-tree resolution count used when Config.H is
+// zero; the paper shows H = 4 suffices for most datasets.
+const DefaultH = core.DefaultH
+
+// Config controls a MrCC run. The zero value selects the paper's
+// recommended configuration (α = 1e-10, H = 4, face-only mask).
+type Config = core.Config
+
+// Result is the outcome of a MrCC run: β-clusters, correlation clusters
+// and per-point labels.
+type Result = core.Result
+
+// Cluster is one correlation cluster.
+type Cluster = core.Cluster
+
+// BetaCluster is one β-cluster (a dense hyper-rectangular region in a
+// subspace, the building block of correlation clusters).
+type BetaCluster = core.BetaCluster
+
+// Dataset is the in-memory dataset container. See the dataset helpers
+// re-exported below for construction and I/O.
+type Dataset = dataset.Dataset
+
+// NewDataset returns an empty dataset of dimensionality d with capacity
+// for n points.
+func NewDataset(d, n int) *Dataset { return dataset.New(d, n) }
+
+// DatasetFromRows builds a dataset from rows of equal length; the rows
+// are used directly, not copied.
+func DatasetFromRows(rows [][]float64) (*Dataset, error) { return dataset.FromRows(rows) }
+
+// LoadCSV reads a dataset from a CSV file; header selects whether the
+// first record is an axis-name header.
+func LoadCSV(path string, header bool) (*Dataset, error) {
+	return dataset.LoadCSVFile(path, header)
+}
+
+// Run clusters raw data rows at any scale: it validates the data,
+// min–max normalizes a copy into [0,1)^d and runs MrCC over it.
+func Run(rows [][]float64, cfg Config) (*Result, error) {
+	ds, err := dataset.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return RunDataset(ds, cfg)
+}
+
+// RunDataset clusters the dataset, normalizing a copy first so the
+// caller's data is left untouched.
+func RunDataset(ds *Dataset, cfg Config) (*Result, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	work := ds
+	if !ds.IsNormalized() {
+		work = ds.Clone()
+		if _, _, err := work.Normalize(); err != nil {
+			return nil, err
+		}
+	}
+	return core.Run(work, cfg)
+}
+
+// RunNormalized clusters a dataset that is already embedded in [0,1)^d,
+// without copying it. It fails if any value falls outside the unit cube.
+func RunNormalized(ds *Dataset, cfg Config) (*Result, error) {
+	return core.Run(ds, cfg)
+}
+
+// SoftMemberships turns a hard clustering result into posterior
+// membership probabilities: an η×(k+1) matrix whose column k (k <
+// NumClusters) is the probability that point i belongs to cluster k,
+// with the noise probability in the last column. The rows of ds must be
+// the ones the result was computed from (at any scale — the same
+// normalization Run applies is repeated here).
+func SoftMemberships(ds *Dataset, res *Result) ([][]float64, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	work := ds
+	if !ds.IsNormalized() {
+		work = ds.Clone()
+		if _, _, err := work.Normalize(); err != nil {
+			return nil, err
+		}
+	}
+	return core.SoftMemberships(work, res)
+}

@@ -1,0 +1,129 @@
+package mrcc_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"mrcc"
+)
+
+// twoClusterRows builds two tight Gaussian clusters in overlapping
+// subspaces plus background noise, at an arbitrary (non-normalized)
+// scale to exercise the facade's normalization path.
+func twoClusterRows(scale float64, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(11))
+	var rows [][]float64
+	for i := 0; i < n; i++ {
+		rows = append(rows, []float64{
+			scale * (0.2 + 0.02*rng.NormFloat64()),
+			scale * (0.3 + 0.02*rng.NormFloat64()),
+			scale * (0.2 + 0.02*rng.NormFloat64()),
+			scale * rng.Float64(),
+			scale * rng.Float64(),
+		})
+	}
+	for i := 0; i < n; i++ {
+		rows = append(rows, []float64{
+			scale * rng.Float64(),
+			scale * (0.8 + 0.02*rng.NormFloat64()),
+			scale * (0.8 + 0.02*rng.NormFloat64()),
+			scale * (0.5 + 0.02*rng.NormFloat64()),
+			scale * rng.Float64(),
+		})
+	}
+	for i := 0; i < n/5; i++ {
+		rows = append(rows, []float64{
+			scale * rng.Float64(), scale * rng.Float64(), scale * rng.Float64(),
+			scale * rng.Float64(), scale * rng.Float64(),
+		})
+	}
+	return rows
+}
+
+func TestRunNormalizesArbitraryScales(t *testing.T) {
+	rows := twoClusterRows(500, 1200)
+	res, err := mrcc.Run(rows, mrcc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters())
+	}
+	// The input must be left untouched (Run normalizes a copy).
+	if rows[0][0] < 1 {
+		t.Error("Run mutated the caller's data")
+	}
+}
+
+func TestRunRejectsBadData(t *testing.T) {
+	if _, err := mrcc.Run(nil, mrcc.Config{}); err == nil {
+		t.Error("nil rows accepted")
+	}
+	if _, err := mrcc.Run([][]float64{{1, math.NaN()}}, mrcc.Config{}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := mrcc.Run([][]float64{{1, 2}, {3}}, mrcc.Config{}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestRunNormalizedRejectsOutOfCube(t *testing.T) {
+	ds, err := mrcc.DatasetFromRows([][]float64{{0.5, 1.5}, {0.1, 0.2}, {0.3, 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mrcc.RunNormalized(ds, mrcc.Config{}); err == nil {
+		t.Error("out-of-cube data accepted by RunNormalized")
+	}
+}
+
+func TestRunDatasetSkipsCopyWhenNormalized(t *testing.T) {
+	rows := twoClusterRows(1, 800) // already inside [0,1)
+	ds, err := mrcc.DatasetFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mrcc.RunDataset(ds, mrcc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() == 0 {
+		t.Fatal("no clusters found")
+	}
+	if len(res.Labels) != ds.Len() {
+		t.Fatalf("labels %d != points %d", len(res.Labels), ds.Len())
+	}
+}
+
+func TestLoadCSVAndCluster(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "points.csv")
+	ds, err := mrcc.DatasetFromRows(twoClusterRows(10, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mrcc.LoadCSV(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mrcc.RunDataset(back, mrcc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Errorf("found %d clusters from CSV round trip, want 2", res.NumClusters())
+	}
+}
+
+func TestNewDatasetAppend(t *testing.T) {
+	ds := mrcc.NewDataset(3, 4)
+	ds.Append([]float64{0.1, 0.2, 0.3})
+	if ds.Len() != 1 || ds.Dims != 3 {
+		t.Errorf("shape d=%d n=%d", ds.Dims, ds.Len())
+	}
+}

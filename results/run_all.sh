@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates every figure at the scales used for EXPERIMENTS.md.
+# Comparison figures run at 30% of the paper's dataset sizes (one
+# laptop core vs the paper's Xeon); MrCC-only figures run full size.
+set -x
+cd "$(dirname "$0")/.."
+go build -o /tmp/experiments ./cmd/experiments || exit 1
+/tmp/experiments -fig scaling        -scale 1.0 > results/scaling.txt 2>&1
+/tmp/experiments -fig fig4-alpha     -scale 0.3 > results/fig4-alpha.txt 2>&1
+/tmp/experiments -fig fig4-h         -scale 0.3 > results/fig4-h.txt 2>&1
+/tmp/experiments -fig ablation-mask  -scale 0.3 > results/ablation-mask.txt 2>&1
+/tmp/experiments -fig ablation-mdl   -scale 0.3 > results/ablation-mdl.txt 2>&1
+/tmp/experiments -fig fig5-first     -scale 0.3 -harpcap 800 > results/fig5-first.txt 2>&1
+/tmp/experiments -fig fig5-noise     -scale 0.3 -harpcap 800 > results/fig5-noise.txt 2>&1
+/tmp/experiments -fig fig5-points    -scale 0.3 -harpcap 800 > results/fig5-points.txt 2>&1
+/tmp/experiments -fig fig5-clusters  -scale 0.3 -harpcap 800 > results/fig5-clusters.txt 2>&1
+/tmp/experiments -fig fig5-dims      -scale 0.3 -harpcap 800 > results/fig5-dims.txt 2>&1
+/tmp/experiments -fig fig5-rotated   -scale 0.3 -harpcap 800 > results/fig5-rotated.txt 2>&1
+/tmp/experiments -fig fig5-real      -scale 1.0 -harpcap 800 > results/fig5-real.txt 2>&1
+/tmp/experiments -fig extras         -scale 0.3 -harpcap 800 > results/extras.txt 2>&1
+echo ALL_DONE
