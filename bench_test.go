@@ -207,6 +207,44 @@ func BenchmarkFig5Real(b *testing.B) {
 	reportQuality(b, res, gt)
 }
 
+// BenchmarkParallelPipeline measures the end-to-end pipeline — sharded
+// tree build, chunked convolution scan, parallel labeling — across
+// worker counts on a 100k-point, 10-dimensional dataset. Each
+// sub-benchmark reports points/s; the workers>1 runs additionally
+// report their wall-clock speedup over the workers=1 sub-benchmark of
+// the same invocation. The equivalence suite
+// (internal/core/parallel_equiv_test.go) separately proves the outputs
+// are identical, so this benchmark only has to watch the clock.
+func BenchmarkParallelPipeline(b *testing.B) {
+	ds, gt, err := synthetic.Generate(synthetic.Config{
+		Dims: 10, Points: 100000, Clusters: 5, NoiseFrac: 0.15,
+		MinClusterDim: 5, MaxClusterDim: 10, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var serialNsPerOp float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				res, err = core.Run(ds, core.Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(ds.Len())/(nsPerOp/1e9), "points/s")
+			if workers == 1 {
+				serialNsPerOp = nsPerOp
+			} else if serialNsPerOp > 0 {
+				b.ReportMetric(serialNsPerOp/nsPerOp, "speedup")
+			}
+			reportQuality(b, res, gt)
+		})
+	}
+}
+
 // BenchmarkScalingEta — T-cmplx: MrCC runtime versus the number of
 // points (the paper's linearity-in-η claim).
 func BenchmarkScalingEta(b *testing.B) {

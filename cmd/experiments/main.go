@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -fig fig5-first [-scale 0.1] [-methods MrCC,LAC] [-sweep]
+//	experiments -fig fig5-first [-scale 0.1] [-methods MrCC,LAC] [-sweep] [-workers 0]
 //	experiments -fig all -scale 0.05
 package main
 
@@ -29,6 +29,7 @@ func main() {
 		methods = flag.String("methods", "", "comma-separated method filter (e.g. MrCC,LAC,EPCH)")
 		sweep   = flag.Bool("sweep", false, "run the full per-method parameter sweeps of Section IV-E")
 		harpCap = flag.Int("harpcap", 1000, "subsample cap for HARP (0 = uncapped; quadratic!)")
+		workers = flag.Int("workers", 0, "MrCC pipeline parallelism (0 = all CPUs, 1 = serial)")
 		csvOut  = flag.String("csv", "", "also export the measurements to this CSV file")
 	)
 	flag.Parse()
@@ -43,7 +44,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := experiments.Options{Scale: *scale, HarpCap: *harpCap, Sweep: *sweep}
+	opt := experiments.Options{Scale: *scale, HarpCap: *harpCap, Sweep: *sweep, Workers: *workers}
 	if *methods != "" {
 		opt.Methods = strings.Split(*methods, ",")
 	}

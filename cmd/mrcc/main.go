@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mrcc -in data.csv [-header] [-alpha 1e-10] [-H 4] [-out labels.csv] [-json]
+//	mrcc -in data.csv [-header] [-alpha 1e-10] [-H 4] [-workers 0] [-out labels.csv] [-json]
 package main
 
 import (
@@ -21,12 +21,13 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input CSV file (required)")
-		header = flag.Bool("header", false, "treat the first CSV record as axis names")
-		alpha  = flag.Float64("alpha", mrcc.DefaultAlpha, "statistical significance level α")
-		h      = flag.Int("H", mrcc.DefaultH, "number of Counting-tree resolutions")
-		out    = flag.String("out", "", "write per-point labels to this CSV file")
-		asJSON = flag.Bool("json", false, "print the result summary as JSON")
+		in      = flag.String("in", "", "input CSV file (required)")
+		header  = flag.Bool("header", false, "treat the first CSV record as axis names")
+		alpha   = flag.Float64("alpha", mrcc.DefaultAlpha, "statistical significance level α")
+		h       = flag.Int("H", mrcc.DefaultH, "number of Counting-tree resolutions")
+		workers = flag.Int("workers", 0, "parallel workers for the pipeline (0 = all CPUs, 1 = serial)")
+		out     = flag.String("out", "", "write per-point labels to this CSV file")
+		asJSON  = flag.Bool("json", false, "print the result summary as JSON")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -34,19 +35,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *header, *alpha, *h, *out, *asJSON); err != nil {
+	if err := run(*in, *header, *alpha, *h, *workers, *out, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "mrcc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, header bool, alpha float64, h int, out string, asJSON bool) error {
+func run(in string, header bool, alpha float64, h, workers int, out string, asJSON bool) error {
 	ds, err := dataset.LoadCSVFile(in, header)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	res, err := mrcc.RunDataset(ds, mrcc.Config{Alpha: alpha, H: h})
+	res, err := mrcc.RunDataset(ds, mrcc.Config{Alpha: alpha, H: h, Workers: workers})
 	if err != nil {
 		return err
 	}

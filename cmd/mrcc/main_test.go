@@ -37,7 +37,7 @@ func writeTestCSV(t *testing.T) string {
 func TestRunTextAndLabels(t *testing.T) {
 	in := writeTestCSV(t)
 	out := filepath.Join(filepath.Dir(in), "labels.csv")
-	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, out, false); err != nil {
+	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, 0, out, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -52,20 +52,49 @@ func TestRunTextAndLabels(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	in := writeTestCSV(t)
-	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, "", true); err != nil {
+	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunWorkersMatchSerial pins the CLI's -workers plumbing: the label
+// files written by a serial and a 4-worker run must be identical.
+func TestRunWorkersMatchSerial(t *testing.T) {
+	in := writeTestCSV(t)
+	dir := filepath.Dir(in)
+	serial := filepath.Join(dir, "serial.csv")
+	parallel := filepath.Join(dir, "parallel.csv")
+	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, 1, serial, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, false, mrcc.DefaultAlpha, mrcc.DefaultH, 4, parallel, false); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("label files differ between -workers 1 and -workers 4")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent/file.csv", false, 1e-10, 4, "", false); err == nil {
+	if err := run("/nonexistent/file.csv", false, 1e-10, 4, 0, "", false); err == nil {
 		t.Error("missing input accepted")
 	}
 	in := writeTestCSV(t)
-	if err := run(in, false, 2.0, 4, "", false); err == nil {
+	if err := run(in, false, 2.0, 4, 0, "", false); err == nil {
 		t.Error("invalid alpha accepted")
 	}
-	if err := run(in, false, 1e-10, 1, "", false); err == nil {
+	if err := run(in, false, 1e-10, 1, 0, "", false); err == nil {
 		t.Error("invalid H accepted")
+	}
+	if err := run(in, false, 1e-10, 4, -2, "", false); err == nil {
+		t.Error("negative workers accepted")
 	}
 }

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -59,6 +60,21 @@ type Config struct {
 	// for the A-mdl ablation that quantifies what the paper's MDL step
 	// buys; the method proper always uses MDL.
 	FixedRelevanceThreshold float64
+	// Workers sets the parallelism of the pipeline: the Counting-tree
+	// build, the convolution scan, and point labeling all fan out over
+	// this many goroutines. 0 selects GOMAXPROCS; 1 forces the serial
+	// fast path. The result is bit-identical for every worker count —
+	// the convolution scan reduces per-chunk argmaxes with the same
+	// lexicographic-path tie-break the serial scan uses (DESIGN.md §5).
+	Workers int
+}
+
+// workerCount resolves Workers to a concrete goroutine count.
+func (c Config) workerCount() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +99,9 @@ func (c Config) validate() error {
 	}
 	if c.FixedRelevanceThreshold < 0 || c.FixedRelevanceThreshold > 100 {
 		return fmt.Errorf("core: FixedRelevanceThreshold must be in [0,100], got %g", c.FixedRelevanceThreshold)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
 	}
 	return nil
 }
@@ -169,13 +188,18 @@ func (r *Result) NumClusters() int { return len(r.Clusters) }
 
 // Run executes the full MrCC pipeline over a dataset normalized to
 // [0,1)^d. Use dataset.Normalize first for raw data.
+//
+// With Config.Workers != 1 the Counting-tree is built from merged
+// per-goroutine shards (ctree.BuildParallel) and the convolution scan
+// and point labeling fan out too; the result is bit-identical to the
+// serial run for every worker count.
 func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	t, err := ctree.Build(ds, cfg.H)
+	t, err := ctree.BuildParallel(ds, cfg.H, cfg.workerCount())
 	if err != nil {
 		return nil, err
 	}
@@ -201,13 +225,14 @@ func RunOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config) (*Result, error) 
 		return nil, fmt.Errorf("core: tree (d=%d, η=%d) does not match dataset (d=%d, η=%d)",
 			t.D, t.Eta, ds.Dims, ds.Len())
 	}
-	s := &searcher{tree: t, cfg: cfg, critCache: make(map[int]int)}
+	workers := cfg.workerCount()
+	s := &searcher{tree: t, cfg: cfg, workers: workers, critCache: make(map[int]int)}
 	start := time.Now()
 	betas := s.findBetaClusters()
 	findTime := time.Since(start)
 	start = time.Now()
 	clusters := buildClusters(betas, t.D)
-	labels := labelPoints(ds, betas, clusters)
+	labels := labelPoints(ds, betas, clusters, workers)
 	for i := range clusters {
 		clusters[i].Size = 0
 	}
@@ -232,10 +257,16 @@ func RunOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config) (*Result, error) 
 type searcher struct {
 	tree      *ctree.Tree
 	cfg       Config
+	workers   int
 	betas     []BetaCluster
 	critCache map[int]int // nP -> critical value at cfg.Alpha (p = 1/6)
 	lBuf      []float64   // scratch cell bounds for the overlap check
 	uBuf      []float64
+	// levelCache materializes each tree level's (path, cell) slice once
+	// so the parallel scan can partition it into contiguous chunks; the
+	// cell set per level is fixed for the searcher's lifetime (only the
+	// Used flags mutate, and they are re-checked on every pass).
+	levelCache map[int][]levelEntry
 }
 
 // findBetaClusters runs the outer repeat loop of Algorithm 2: search
@@ -268,7 +299,14 @@ func (s *searcher) findBetaClusters() []BetaCluster {
 // densestCell convolutes the mask over every eligible cell at level h
 // and returns the one with the largest value (ties broken by the
 // lexicographically smallest path, so the method stays deterministic).
+// With more than one worker the level's cell slice is partitioned into
+// contiguous chunks whose per-chunk argmaxes reduce under the same
+// ordering, keeping the result bit-identical to the serial scan (see
+// parallel.go).
 func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell) {
+	if s.workers > 1 {
+		return s.densestCellParallel(h)
+	}
 	var bestPath ctree.Path
 	var bestCell *ctree.Cell
 	bestVal := int64(math.MinInt64)
@@ -276,12 +314,7 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell) {
 		if c.Used || s.sharesSpaceWithBeta(p) {
 			return
 		}
-		var v int64
-		if s.cfg.FullMask {
-			v = conv.FullValue(s.tree, p, c)
-		} else {
-			v = conv.FaceValue(s.tree, p, c)
-		}
+		v := s.maskValue(p, c)
 		if v > bestVal || (v == bestVal && bestCell != nil && p.Compare(bestPath) < 0) {
 			bestVal = v
 			bestPath = p.Clone()
@@ -291,22 +324,37 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell) {
 	return bestPath, bestCell
 }
 
+// maskValue applies the configured convolution mask to the cell c at
+// path p. It only reads the tree, so concurrent calls are safe.
+func (s *searcher) maskValue(p ctree.Path, c *ctree.Cell) int64 {
+	if s.cfg.FullMask {
+		return conv.FullValue(s.tree, p, c)
+	}
+	return conv.FaceValue(s.tree, p, c)
+}
+
 // sharesSpaceWithBeta reports whether the cell at path p overlaps any
 // previously found β-cluster in every axis.
 func (s *searcher) sharesSpaceWithBeta(p ctree.Path) bool {
+	if s.lBuf == nil {
+		s.lBuf = make([]float64, s.tree.D)
+		s.uBuf = make([]float64, s.tree.D)
+	}
+	return s.sharesSpaceWithBetaInto(p, s.lBuf, s.uBuf)
+}
+
+// sharesSpaceWithBetaInto is sharesSpaceWithBeta writing the cell
+// bounds into caller-owned scratch, so concurrent scan workers need no
+// shared state.
+func (s *searcher) sharesSpaceWithBetaInto(p ctree.Path, lBuf, uBuf []float64) bool {
 	if len(s.betas) == 0 {
 		return false
 	}
-	d := s.tree.D
-	if s.lBuf == nil {
-		s.lBuf = make([]float64, d)
-		s.uBuf = make([]float64, d)
-	}
-	for j := 0; j < d; j++ {
-		s.lBuf[j], s.uBuf[j] = p.Bounds(j)
+	for j := 0; j < s.tree.D; j++ {
+		lBuf[j], uBuf[j] = p.Bounds(j)
 	}
 	for i := range s.betas {
-		if s.betas[i].SharesSpace(s.lBuf, s.uBuf) {
+		if s.betas[i].SharesSpace(lBuf, uBuf) {
 			return true
 		}
 	}
@@ -462,8 +510,10 @@ func buildClusters(betas []BetaCluster, d int) []Cluster {
 
 // labelPoints assigns each point to the correlation cluster owning the
 // first β-cluster box containing it, or Noise. Correlation clusters do
-// not share space, so the assignment is unambiguous.
-func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster) []int {
+// not share space, so the assignment is unambiguous. Each point's label
+// depends only on that point, so the range is split across workers
+// (parallel.go) with no effect on the output.
+func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, workers int) []int {
 	labels := make([]int, ds.Len())
 	betaOwner := make([]int, len(betas))
 	for _, c := range clusters {
@@ -471,14 +521,22 @@ func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster) [
 			betaOwner[b] = c.ID
 		}
 	}
-	for i, pt := range ds.Points {
-		labels[i] = Noise
-		for bi := range betas {
-			if containsPoint(&betas[bi], pt) {
-				labels[i] = betaOwner[bi]
-				break
+	labelRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pt := ds.Points[i]
+			labels[i] = Noise
+			for bi := range betas {
+				if containsPoint(&betas[bi], pt) {
+					labels[i] = betaOwner[bi]
+					break
+				}
 			}
 		}
+	}
+	if workers > 1 && ds.Len() >= minParallelPoints {
+		parallelRanges(ds.Len(), workers, labelRange)
+	} else {
+		labelRange(0, ds.Len())
 	}
 	return labels
 }

@@ -1,0 +1,175 @@
+// Parallel execution of the pipeline's hot phases. The design goal is
+// determinism: every code path here must produce bit-identical results
+// to the serial one in core.go for any worker count.
+//
+// The convolution scan achieves that by reducing with a total order —
+// (value descending, lexicographic cell path ascending) — that does not
+// depend on visit order: each worker computes the argmax of a
+// contiguous chunk of the level's cell slice under that order, and the
+// chunk winners reduce under the same order. Point labeling is
+// trivially order-free: each point's label is a pure function of the
+// point and the (already fixed) β-cluster list.
+package core
+
+import (
+	"math"
+	"sync"
+
+	"mrcc/internal/ctree"
+)
+
+// minParallelCells is the level size below which spawning scan workers
+// costs more than the scan; under it the chunked scan degrades to one
+// chunk. Determinism does not depend on this value.
+const minParallelCells = 256
+
+// minParallelPoints is the dataset size below which point labeling
+// stays serial.
+const minParallelPoints = 4096
+
+// levelEntry pairs a stored cell with its (stable) path. The paths are
+// carved out of one shared slab to keep the materialization cheap.
+type levelEntry struct {
+	path ctree.Path
+	cell *ctree.Cell
+}
+
+// levelEntries materializes level h once per searcher and memoizes it:
+// the cell set of a level never changes during the search, only the
+// Used flags and the β-cluster list do, and both are re-read on every
+// scan pass.
+func (s *searcher) levelEntries(h int) []levelEntry {
+	if s.levelCache == nil {
+		s.levelCache = make(map[int][]levelEntry)
+	}
+	if e, ok := s.levelCache[h]; ok {
+		return e
+	}
+	count := s.tree.LevelCellCount(h)
+	slab := make([]uint64, 0, count*h)
+	entries := make([]levelEntry, 0, count)
+	s.tree.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) {
+		start := len(slab)
+		slab = append(slab, p...)
+		entries = append(entries, levelEntry{path: ctree.Path(slab[start : start+h]), cell: c})
+	})
+	s.levelCache[h] = entries
+	return entries
+}
+
+// chunkBest is one worker's scan result: the maximal mask value in its
+// chunk and, among the maximal cells, the lexicographically smallest
+// path. cell == nil means the chunk had no eligible cell.
+type chunkBest struct {
+	val  int64
+	path ctree.Path
+	cell *ctree.Cell
+}
+
+// better reports whether b should replace cur in the reduction. The
+// order is total over eligible cells (paths are unique), so the global
+// winner is independent of chunking and reduction order — and equal to
+// what the serial scan in core.go picks.
+func (b *chunkBest) better(cur *chunkBest) bool {
+	if b.cell == nil {
+		return false
+	}
+	if cur.cell == nil {
+		return true
+	}
+	if b.val != cur.val {
+		return b.val > cur.val
+	}
+	return b.path.Compare(cur.path) < 0
+}
+
+// densestCellParallel is densestCell fanned out over s.workers chunks.
+func (s *searcher) densestCellParallel(h int) (ctree.Path, *ctree.Cell) {
+	entries := s.levelEntries(h)
+	workers := s.workers
+	if len(entries) < minParallelCells {
+		workers = 1
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	if workers <= 1 {
+		best := s.scanChunk(entries)
+		return best.path, best.cell
+	}
+	chunk := (len(entries) + workers - 1) / workers
+	bests := make([]chunkBest, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			bests[w] = s.scanChunk(entries[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var best chunkBest
+	for i := range bests {
+		if bests[i].better(&best) {
+			best = bests[i]
+		}
+	}
+	return best.path, best.cell
+}
+
+// scanChunk computes the chunk's argmax under the (value, path) order.
+// It only reads shared state — the tree, the β-cluster list, and the
+// Used flags (mutated strictly between scans) — and owns its bounds
+// scratch, so concurrent calls on disjoint chunks are race-free.
+func (s *searcher) scanChunk(entries []levelEntry) chunkBest {
+	best := chunkBest{val: math.MinInt64}
+	d := s.tree.D
+	lBuf := make([]float64, d)
+	uBuf := make([]float64, d)
+	for i := range entries {
+		e := &entries[i]
+		if e.cell.Used || s.sharesSpaceWithBetaInto(e.path, lBuf, uBuf) {
+			continue
+		}
+		v := s.maskValue(e.path, e.cell)
+		cand := chunkBest{val: v, path: e.path, cell: e.cell}
+		if cand.better(&best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// parallelRanges splits [0, n) into `workers` contiguous ranges and
+// runs fn on each concurrently. fn must be safe on disjoint ranges.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -6,8 +6,8 @@ import (
 	"mrcc/internal/dataset"
 )
 
-// treesEqual compares two trees cell by cell (counts and half-space
-// counts), ignoring iteration order.
+// treesEqual compares two trees cell by cell (counts, half-space
+// counts, and usedCell flags), ignoring iteration order.
 func treesEqual(t *testing.T, a, b *Tree) bool {
 	t.Helper()
 	if a.D != b.D || a.H != b.H || a.Eta != b.Eta {
@@ -17,7 +17,7 @@ func treesEqual(t *testing.T, a, b *Tree) bool {
 	for h := 1; h <= a.H-1; h++ {
 		a.WalkLevel(h, func(p Path, ca *Cell) {
 			cb := b.CellAt(p)
-			if cb == nil || ca.N != cb.N {
+			if cb == nil || ca.N != cb.N || ca.Used != cb.Used {
 				equal = false
 				return
 			}
@@ -88,6 +88,110 @@ func TestMergeFromEqualsWholeBuild(t *testing.T) {
 	}
 	if !treesEqual(t, whole, left) {
 		t.Fatal("merged shards diverged from the whole build")
+	}
+}
+
+// TestMergeFromEmptyShard pins the edge case BuildParallel hits when a
+// shard is empty: merging an empty tree must change nothing, in either
+// direction.
+func TestMergeFromEmptyShard(t *testing.T) {
+	ds := uniformDataset(t, 4, 300, 5)
+	whole, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &Tree{D: 4, H: 4, Root: newNode()}
+	if err := built.MergeFrom(empty); err != nil {
+		t.Fatalf("merging an empty shard: %v", err)
+	}
+	if !treesEqual(t, whole, built) {
+		t.Fatal("merging an empty shard changed the tree")
+	}
+	// The other direction: counting a full shard into a fresh tree.
+	empty = &Tree{D: 4, H: 4, Root: newNode()}
+	if err := empty.MergeFrom(built); err != nil {
+		t.Fatalf("merging into an empty tree: %v", err)
+	}
+	if !treesEqual(t, whole, empty) {
+		t.Fatal("merging into an empty tree diverged from Build")
+	}
+}
+
+// TestMergeFromSinglePointShards merges η one-point trees — the most
+// extreme sharding possible — and must reproduce Build exactly: counts,
+// P[j] half-space counts, and (clear) usedCell flags cell-for-cell.
+func TestMergeFromSinglePointShards(t *testing.T) {
+	ds := uniformDataset(t, 5, 120, 13)
+	whole, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := &Tree{D: 5, H: 4, Root: newNode()}
+	for i := range ds.Points {
+		shard, err := Build(&dataset.Dataset{Dims: ds.Dims, Points: ds.Points[i : i+1]}, 4)
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		if shard.Eta != 1 {
+			t.Fatalf("point %d: shard Eta = %d, want 1", i, shard.Eta)
+		}
+		if err := merged.MergeFrom(shard); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+	if !treesEqual(t, whole, merged) {
+		t.Fatal("single-point shards merged diverged from the whole build")
+	}
+}
+
+// TestMergeFromDifferingIterationOrders builds the two shards from
+// opposite traversal orders of the data, so their first-touch cell
+// orders differ, then checks both merge orders (A←B and B←A) reproduce
+// Build cell-for-cell. This is the property the deterministic scan
+// tie-break relies on: merged trees may iterate differently but must
+// count identically.
+func TestMergeFromDifferingIterationOrders(t *testing.T) {
+	ds := uniformDataset(t, 5, 800, 29)
+	whole, err := Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := ds.Len() / 2
+	reversed := dataset.New(ds.Dims, ds.Len())
+	for i := ds.Len() - 1; i >= 0; i-- {
+		reversed.Append(ds.Points[i])
+	}
+	// Shard A: first half, natural order. Shard B: second half, reversed
+	// order (same multiset of points, different insertion order).
+	a, err := Build(&dataset.Dataset{Dims: ds.Dims, Points: ds.Points[:half]}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(&dataset.Dataset{Dims: ds.Dims, Points: reversed.Points[:ds.Len()-half]}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aIntoB := &Tree{D: ds.Dims, H: 4, Root: newNode()}
+	for _, src := range []*Tree{b, a} {
+		if err := aIntoB.MergeFrom(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bIntoA := &Tree{D: ds.Dims, H: 4, Root: newNode()}
+	for _, src := range []*Tree{a, b} {
+		if err := bIntoA.MergeFrom(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !treesEqual(t, whole, aIntoB) {
+		t.Fatal("merge order B,A diverged from the whole build")
+	}
+	if !treesEqual(t, whole, bIntoA) {
+		t.Fatal("merge order A,B diverged from the whole build")
 	}
 }
 

@@ -46,6 +46,10 @@ type Options struct {
 	// (best Quality wins); off, each method runs its recommended
 	// configuration once.
 	Sweep bool
+	// Workers sets the MrCC pipeline parallelism (core.Config.Workers):
+	// 0 = GOMAXPROCS, 1 = serial. The clustering output is identical
+	// either way; only the timings change.
+	Workers int
 }
 
 // DefaultOptions mirror a laptop-friendly full run. The HARP cap of

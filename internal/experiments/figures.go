@@ -144,7 +144,7 @@ func figSensitivityAlpha(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		tree, err := ctree.Build(ds, core.DefaultH)
+		tree, err := ctree.BuildParallel(ds, core.DefaultH, opt.Workers)
 		if err != nil {
 			return err
 		}
@@ -154,7 +154,7 @@ func figSensitivityAlpha(w io.Writer, opt Options) error {
 			var res *core.Result
 			seconds, peakKB, err := measureRun(func() error {
 				var err error
-				res, err = core.RunOnTree(tree, ds, core.Config{Alpha: a, H: core.DefaultH})
+				res, err = core.RunOnTree(tree, ds, core.Config{Alpha: a, H: core.DefaultH, Workers: opt.Workers})
 				return err
 			})
 			row := Measurement{Dataset: name, Method: "MrCC",
@@ -193,7 +193,7 @@ func figSensitivityH(w io.Writer, opt Options) error {
 			var res *core.Result
 			seconds, peakKB, err := measureRun(func() error {
 				var err error
-				res, err = core.Run(ds, core.Config{Alpha: core.DefaultAlpha, H: hh})
+				res, err = core.Run(ds, core.Config{Alpha: core.DefaultAlpha, H: hh, Workers: opt.Workers})
 				return err
 			})
 			row := Measurement{Dataset: name, Method: "MrCC",
@@ -243,6 +243,7 @@ func figScaling(w io.Writer, opt Options) error {
 		if mrccCfg.H == 0 {
 			mrccCfg.H = core.DefaultH
 		}
+		mrccCfg.Workers = opt.Workers
 		ds, _, err := synthetic.Generate(cfg)
 		if err != nil {
 			return err
@@ -312,7 +313,7 @@ func figAblationMask(w io.Writer, opt Options) error {
 			var res *core.Result
 			seconds, peakKB, err := measureRun(func() error {
 				var err error
-				res, err = core.Run(ds, core.Config{FullMask: ff})
+				res, err = core.Run(ds, core.Config{FullMask: ff, Workers: opt.Workers})
 				return err
 			})
 			if err != nil {
@@ -351,7 +352,7 @@ func figAblationMDL(w io.Writer, opt Options) error {
 			var res *core.Result
 			seconds, peakKB, err := measureRun(func() error {
 				var err error
-				res, err = core.Run(ds, core.Config{FixedRelevanceThreshold: tt})
+				res, err = core.Run(ds, core.Config{FixedRelevanceThreshold: tt, Workers: opt.Workers})
 				return err
 			})
 			if err != nil {

@@ -98,8 +98,8 @@ func fromBaseline(r *baselines.Result) *eval.Clustering {
 	return &eval.Clustering{Labels: r.Labels, Relevant: r.Relevant}
 }
 
-func runMrCC(ds *dataset.Dataset, _ *synthetic.GroundTruth, _ Options) (*eval.Clustering, error) {
-	res, err := core.Run(ds, core.Config{Alpha: core.DefaultAlpha, H: core.DefaultH})
+func runMrCC(ds *dataset.Dataset, _ *synthetic.GroundTruth, opt Options) (*eval.Clustering, error) {
+	res, err := core.Run(ds, core.Config{Alpha: core.DefaultAlpha, H: core.DefaultH, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}

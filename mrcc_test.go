@@ -97,6 +97,46 @@ func TestRunDatasetSkipsCopyWhenNormalized(t *testing.T) {
 	}
 }
 
+// TestRunHonorsWorkers is the facade-level regression for the bug where
+// mrcc.Run/RunDataset ignored worker configuration and always built the
+// Counting-tree serially: Workers must reach the core pipeline, and any
+// worker count must reproduce the serial result exactly — clusters,
+// relevant axes, and every point label.
+func TestRunHonorsWorkers(t *testing.T) {
+	rows := twoClusterRows(500, 1500)
+	serial, err := mrcc.Run(rows, mrcc.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumClusters() != 2 {
+		t.Fatalf("serial run found %d clusters, want 2", serial.NumClusters())
+	}
+	for _, w := range []int{0, 2, 4, 8} {
+		par, err := mrcc.Run(rows, mrcc.Config{Workers: w})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if par.NumClusters() != serial.NumClusters() || len(par.Betas) != len(serial.Betas) {
+			t.Fatalf("Workers=%d: structure differs (%d clusters, %d betas) vs serial (%d, %d)",
+				w, par.NumClusters(), len(par.Betas), serial.NumClusters(), len(serial.Betas))
+		}
+		for i := range serial.Betas {
+			if serial.Betas[i].Center.Compare(par.Betas[i].Center) != 0 {
+				t.Fatalf("Workers=%d: β-cluster %d center differs", w, i)
+			}
+		}
+		for i := range serial.Labels {
+			if serial.Labels[i] != par.Labels[i] {
+				t.Fatalf("Workers=%d: label %d differs: %d vs %d",
+					w, i, serial.Labels[i], par.Labels[i])
+			}
+		}
+	}
+	if _, err := mrcc.Run(rows, mrcc.Config{Workers: -1}); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}
+
 func TestLoadCSVAndCluster(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "points.csv")
