@@ -243,6 +243,27 @@ func BenchmarkParallelPipeline(b *testing.B) {
 			reportQuality(b, res, gt)
 		})
 	}
+	// The observability layer promises < 2% wall-time overhead
+	// (DESIGN.md §6): the serial run with stats on reports its overhead
+	// relative to the plain workers=1 sub-benchmark above.
+	b.Run("workers=1/stats", func(b *testing.B) {
+		var res *core.Result
+		for i := 0; i < b.N; i++ {
+			res, err = core.Run(ds, core.Config{Workers: 1, CollectStats: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(ds.Len())/(nsPerOp/1e9), "points/s")
+		if serialNsPerOp > 0 {
+			b.ReportMetric(100*(nsPerOp-serialNsPerOp)/serialNsPerOp, "stats-overhead-%")
+		}
+		if res.Stats == nil {
+			b.Fatal("CollectStats produced no stats")
+		}
+		reportQuality(b, res, gt)
+	})
 }
 
 // BenchmarkScalingEta — T-cmplx: MrCC runtime versus the number of

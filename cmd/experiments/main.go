@@ -7,6 +7,12 @@
 //	experiments -list
 //	experiments -fig fig5-first [-scale 0.1] [-methods MrCC,LAC] [-sweep] [-workers 0]
 //	experiments -fig all -scale 0.05
+//	experiments -benchstats results/bench_stats.json [-scale 0.05] [-workers 4]
+//
+// -benchstats runs the parallel-pipeline benchmark dataset once per
+// worker count with the observability layer on and writes the records
+// (wall times, throughput, per-phase stats) as JSON to the given path
+// ("-" for stdout). CI runs it at a small scale as a smoke test.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		harpCap = flag.Int("harpcap", 1000, "subsample cap for HARP (0 = uncapped; quadratic!)")
 		workers = flag.Int("workers", 0, "MrCC pipeline parallelism (0 = all CPUs, 1 = serial)")
 		csvOut  = flag.String("csv", "", "also export the measurements to this CSV file")
+		bench   = flag.String("benchstats", "", "write pipeline bench stats (JSON) to this path (\"-\" = stdout) and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -39,14 +46,21 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list)")
-		flag.Usage()
-		os.Exit(2)
-	}
 	opt := experiments.Options{Scale: *scale, HarpCap: *harpCap, Sweep: *sweep, Workers: *workers}
 	if *methods != "" {
 		opt.Methods = strings.Split(*methods, ",")
+	}
+	if *bench != "" {
+		if err := runBenchStats(*bench, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, or -benchstats)")
+		flag.Usage()
+		os.Exit(2)
 	}
 	ids := []string{*fig}
 	if *fig == "all" {
@@ -87,4 +101,37 @@ func main() {
 		}
 		fmt.Printf("wrote %d measurement rows to %s\n", len(rows), *csvOut)
 	}
+}
+
+// runBenchStats runs the pipeline bench (serial plus the configured
+// worker count) and writes the JSON records to path or stdout.
+func runBenchStats(path string, opt experiments.Options) error {
+	counts := []int{1, 0}
+	if opt.Workers > 1 {
+		counts = []int{1, opt.Workers}
+	}
+	records, err := experiments.BenchStats(opt, counts)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return experiments.WriteBenchStats(os.Stdout, records)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchStats(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range records {
+		fmt.Printf("benchstats: workers=%d points=%d %.3fs (%.0f points/s) clusters=%d\n",
+			r.Workers, r.Points, r.Seconds, r.PointsPerSec, r.Clusters)
+	}
+	fmt.Printf("wrote %d bench-stats records to %s\n", len(records), path)
+	return nil
 }

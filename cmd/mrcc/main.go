@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	mrcc -in data.csv [-header] [-alpha 1e-10] [-H 4] [-workers 0] [-out labels.csv] [-json]
+//	mrcc -in data.csv [-header] [-alpha 1e-10] [-H 4] [-workers 0]
+//	     [-out labels.csv] [-json] [-stats]
+//	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Exit status is 0 on success, 1 on runtime errors (unreadable input,
+// clustering failure, write errors) and 2 on invalid flags.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -19,46 +27,120 @@ import (
 	"mrcc/internal/dataset"
 )
 
-func main() {
-	var (
-		in      = flag.String("in", "", "input CSV file (required)")
-		header  = flag.Bool("header", false, "treat the first CSV record as axis names")
-		alpha   = flag.Float64("alpha", mrcc.DefaultAlpha, "statistical significance level α")
-		h       = flag.Int("H", mrcc.DefaultH, "number of Counting-tree resolutions")
-		workers = flag.Int("workers", 0, "parallel workers for the pipeline (0 = all CPUs, 1 = serial)")
-		out     = flag.String("out", "", "write per-point labels to this CSV file")
-		asJSON  = flag.Bool("json", false, "print the result summary as JSON")
-	)
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "mrcc: -in is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := run(*in, *header, *alpha, *h, *workers, *out, *asJSON); err != nil {
-		fmt.Fprintln(os.Stderr, "mrcc:", err)
-		os.Exit(1)
-	}
+// options holds the parsed, validated command line.
+type options struct {
+	in         string
+	header     bool
+	alpha      float64
+	h          int
+	workers    int
+	out        string
+	asJSON     bool
+	stats      bool
+	cpuProfile string
+	memProfile string
 }
 
-func run(in string, header bool, alpha float64, h, workers int, out string, asJSON bool) error {
-	ds, err := dataset.LoadCSVFile(in, header)
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with its dependencies injected so tests can drive
+// the full flag-parsing and validation path and observe the exit code.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mrcc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opt options
+	fs.StringVar(&opt.in, "in", "", "input CSV file (required)")
+	fs.BoolVar(&opt.header, "header", false, "treat the first CSV record as axis names")
+	fs.Float64Var(&opt.alpha, "alpha", mrcc.DefaultAlpha, "statistical significance level α, in (0, 1)")
+	fs.IntVar(&opt.h, "H", mrcc.DefaultH, "number of Counting-tree resolutions (>= 3)")
+	fs.IntVar(&opt.workers, "workers", 0, "parallel workers for the pipeline (0 = all CPUs, 1 = serial)")
+	fs.StringVar(&opt.out, "out", "", "write per-point labels to this CSV file")
+	fs.BoolVar(&opt.asJSON, "json", false, "print the result summary as JSON")
+	fs.BoolVar(&opt.stats, "stats", false, "collect and print per-phase timings, counters and memory deltas")
+	fs.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&opt.memProfile, "memprofile", "", "write a heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error + usage
+	}
+	if err := opt.validate(); err != nil {
+		fmt.Fprintln(stderr, "mrcc:", err)
+		fs.Usage()
+		return 2
+	}
+	if err := run(opt, stdout); err != nil {
+		fmt.Fprintln(stderr, "mrcc:", err)
+		return 1
+	}
+	return 0
+}
+
+// validate rejects impossible configurations before any work happens,
+// so flag mistakes exit with status 2 and the usage text instead of a
+// mid-run failure.
+func (o *options) validate() error {
+	if o.in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	if o.alpha <= 0 || o.alpha >= 1 {
+		return fmt.Errorf("-alpha must be in (0, 1), got %g", o.alpha)
+	}
+	if o.h < 3 {
+		return fmt.Errorf("-H must be at least 3, got %d", o.h)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
+	}
+	return nil
+}
+
+func run(opt options, stdout io.Writer) error {
+	ds, err := dataset.LoadCSVFile(opt.in, opt.header)
 	if err != nil {
 		return err
 	}
+	if opt.cpuProfile != "" {
+		f, err := os.Create(opt.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
-	res, err := mrcc.RunDataset(ds, mrcc.Config{Alpha: alpha, H: h, Workers: workers})
+	res, err := mrcc.RunDataset(ds, mrcc.Config{
+		Alpha: opt.alpha, H: opt.h, Workers: opt.workers,
+		CollectStats: opt.stats,
+	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-
-	if asJSON {
-		return printJSON(ds, res, elapsed)
+	if opt.memProfile != "" {
+		f, err := os.Create(opt.memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", werr)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
 	}
-	printText(ds, res, elapsed)
-	if out != "" {
-		return writeLabels(out, res.Labels)
+
+	if opt.asJSON {
+		return printJSON(stdout, ds, res, elapsed)
+	}
+	printText(stdout, ds, res, elapsed)
+	if opt.out != "" {
+		return writeLabels(opt.out, res.Labels)
 	}
 	return nil
 }
@@ -77,15 +159,17 @@ type jsonOutput struct {
 	Noise     int           `json:"noisePoints"`
 	ElapsedMS float64       `json:"elapsedMs"`
 	MemoryKB  uint64        `json:"treeMemoryKB"`
+	Stats     *mrcc.Stats   `json:"stats,omitempty"`
 	Labels    []int         `json:"labels"`
 }
 
-func printJSON(ds *mrcc.Dataset, res *mrcc.Result, elapsed time.Duration) error {
+func printJSON(w io.Writer, ds *mrcc.Dataset, res *mrcc.Result, elapsed time.Duration) error {
 	outp := jsonOutput{
 		Points:    ds.Len(),
 		Dims:      ds.Dims,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
 		MemoryKB:  res.TreeMemoryBytes / 1024,
+		Stats:     res.Stats,
 		Labels:    res.Labels,
 	}
 	for _, l := range res.Labels {
@@ -98,25 +182,29 @@ func printJSON(ds *mrcc.Dataset, res *mrcc.Result, elapsed time.Duration) error 
 			ID: c.ID, Size: c.Size, RelevantAxes: c.RelevantAxes(), BetaClusters: len(c.Betas),
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(outp)
 }
 
-func printText(ds *mrcc.Dataset, res *mrcc.Result, elapsed time.Duration) {
+func printText(w io.Writer, ds *mrcc.Dataset, res *mrcc.Result, elapsed time.Duration) {
 	noise := 0
 	for _, l := range res.Labels {
 		if l == mrcc.Noise {
 			noise++
 		}
 	}
-	fmt.Printf("dataset: %d points x %d axes\n", ds.Len(), ds.Dims)
-	fmt.Printf("found %d correlation clusters (%d beta-clusters) in %v, tree %d KB\n",
+	fmt.Fprintf(w, "dataset: %d points x %d axes\n", ds.Len(), ds.Dims)
+	fmt.Fprintf(w, "found %d correlation clusters (%d beta-clusters) in %v, tree %d KB\n",
 		res.NumClusters(), len(res.Betas), elapsed.Round(time.Millisecond), res.TreeMemoryBytes/1024)
 	for _, c := range res.Clusters {
-		fmt.Printf("  cluster %d: %d points, relevant axes %v\n", c.ID, c.Size, c.RelevantAxes())
+		fmt.Fprintf(w, "  cluster %d: %d points, relevant axes %v\n", c.ID, c.Size, c.RelevantAxes())
 	}
-	fmt.Printf("  noise: %d points (%.1f%%)\n", noise, 100*float64(noise)/float64(ds.Len()))
+	fmt.Fprintf(w, "  noise: %d points (%.1f%%)\n", noise, 100*float64(noise)/float64(ds.Len()))
+	if res.Stats != nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, res.Stats.Format())
+	}
 }
 
 func writeLabels(path string, labels []int) error {

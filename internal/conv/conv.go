@@ -13,9 +13,16 @@ import "mrcc/internal/ctree"
 // cell c addressed by path p: 2d·n(c) − Σ_j [n(lower_j) + n(upper_j)],
 // where absent neighbors contribute zero.
 func FaceValue(t *ctree.Tree, p ctree.Path, c *ctree.Cell) int64 {
+	return FaceValueScratch(t, p, c, make(ctree.Path, 0, p.Level()))
+}
+
+// FaceValueScratch is FaceValue with caller-owned path scratch (grown
+// as needed), so the convolution scan — which applies the mask once per
+// eligible cell per pass — allocates nothing per evaluation. buf must
+// not alias p; each scan worker owns its own scratch.
+func FaceValueScratch(t *ctree.Tree, p ctree.Path, c *ctree.Cell, buf ctree.Path) int64 {
 	d := t.D
 	v := int64(2*d) * int64(c.N)
-	buf := make(ctree.Path, 0, p.Level())
 	for j := 0; j < d; j++ {
 		for _, upper := range [2]bool{false, true} {
 			np, ok := p.NeighborInto(buf, j, upper)

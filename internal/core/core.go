@@ -15,6 +15,7 @@ import (
 	"mrcc/internal/ctree"
 	"mrcc/internal/dataset"
 	"mrcc/internal/mdl"
+	"mrcc/internal/obs"
 	"mrcc/internal/stats"
 )
 
@@ -67,7 +68,22 @@ type Config struct {
 	// the convolution scan reduces per-chunk argmaxes with the same
 	// lexicographic-path tie-break the serial scan uses (DESIGN.md §5).
 	Workers int
+	// CollectStats enables the observability layer: per-phase wall
+	// times, runtime.MemStats deltas and pipeline counters land in
+	// Result.Stats (DESIGN.md §6). Collection never changes the
+	// clustering output — the serial-equivalence guarantee holds with
+	// stats on — and costs well under 2% of a run's wall time.
+	CollectStats bool
+	// Progress, when non-nil, receives coarse progress callbacks (tree
+	// build, scan passes, β-tests, labeling). Installing it implies
+	// stats collection. The callback is serialized by the collector, so
+	// it is safe with Workers > 1; it must return quickly and must not
+	// call back into the running pipeline.
+	Progress obs.ProgressFunc
 }
+
+// wantsStats reports whether the run needs a collector at all.
+func (c Config) wantsStats() bool { return c.CollectStats || c.Progress != nil }
 
 // workerCount resolves Workers to a concrete goroutine count.
 func (c Config) workerCount() int {
@@ -170,6 +186,10 @@ type Result struct {
 	TreeMemoryBytes uint64
 	// Timings records how long each phase of the method took.
 	Timings Timings
+	// Stats is the run's observability record (per-phase wall times and
+	// memory deltas, pipeline counters); nil unless Config.CollectStats
+	// or Config.Progress enabled collection.
+	Stats *obs.Stats
 }
 
 // Timings breaks a run into the paper's three phases.
@@ -198,13 +218,22 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	col := newCollector(cfg)
+	var buildProgress ctree.ProgressFunc
+	if col.WantsProgress() {
+		buildProgress = func(done, total int) {
+			col.Progress(obs.PhaseTreeBuild, int64(done), int64(total))
+		}
+	}
 	start := time.Now()
-	t, err := ctree.BuildParallel(ds, cfg.H, cfg.workerCount())
+	sp := col.Start(obs.PhaseTreeBuild)
+	t, err := ctree.BuildParallelProgress(ds, cfg.H, cfg.workerCount(), buildProgress)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	buildTime := time.Since(start)
-	res, err := RunOnTree(t, ds, cfg)
+	res, err := runOnTree(t, ds, cfg, col)
 	if err != nil {
 		return nil, err
 	}
@@ -221,18 +250,48 @@ func RunOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config) (*Result, error) 
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	return runOnTree(t, ds, cfg, newCollector(cfg))
+}
+
+// newCollector returns the run's stats collector, or nil (the no-op
+// collector) when the config asks for no observability.
+func newCollector(cfg Config) *obs.Collector {
+	if !cfg.wantsStats() {
+		return nil
+	}
+	return obs.New(cfg.Progress)
+}
+
+// runOnTree is RunOnTree with the collector already decided, so Run can
+// share one collector between the tree build and the clustering phases.
+// cfg must already be defaulted and validated.
+func runOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs.Collector) (*Result, error) {
 	if t.D != ds.Dims || t.Eta != ds.Len() {
 		return nil, fmt.Errorf("core: tree (d=%d, η=%d) does not match dataset (d=%d, η=%d)",
 			t.D, t.Eta, ds.Dims, ds.Len())
 	}
 	workers := cfg.workerCount()
-	s := &searcher{tree: t, cfg: cfg, workers: workers, critCache: make(map[int]int)}
+	if col != nil {
+		col.SetShape(ds.Len(), ds.Dims, cfg.H, workers)
+		for h := 1; h <= t.H-1; h++ {
+			col.CountCells(h, int64(t.LevelCellCount(h)))
+		}
+	}
+	s := &searcher{tree: t, cfg: cfg, workers: workers, col: col, critCache: make(map[int]int)}
 	start := time.Now()
+	spSearch := col.Start(obs.PhaseBetaSearch)
 	betas := s.findBetaClusters()
+	spSearch.End()
 	findTime := time.Since(start)
 	start = time.Now()
-	clusters := buildClusters(betas, t.D)
-	labels := labelPoints(ds, betas, clusters, workers)
+	spMerge := col.Start(obs.PhaseClusterMerge)
+	clusters, merges := buildClusters(betas, t.D)
+	spMerge.End()
+	col.SetClusterCounts(int64(len(betas)), int64(len(clusters)), int64(merges))
+	col.Progress(obs.PhaseClusterMerge, int64(len(clusters)), int64(len(clusters)))
+	spLabel := col.Start(obs.PhaseLabeling)
+	labels := labelPoints(ds, betas, clusters, workers, col)
+	spLabel.End()
 	for i := range clusters {
 		clusters[i].Size = 0
 	}
@@ -241,15 +300,18 @@ func RunOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config) (*Result, error) 
 			clusters[lb].Size++
 		}
 	}
+	treeBytes := t.MemoryBytes()
+	col.SetTreeBytes(treeBytes)
 	return &Result{
 		Betas:           betas,
 		Clusters:        clusters,
 		Labels:          labels,
-		TreeMemoryBytes: t.MemoryBytes(),
+		TreeMemoryBytes: treeBytes,
 		Timings: Timings{
 			FindBetas:     findTime,
 			BuildClusters: time.Since(start),
 		},
+		Stats: col.Finish(),
 	}, nil
 }
 
@@ -258,10 +320,12 @@ type searcher struct {
 	tree      *ctree.Tree
 	cfg       Config
 	workers   int
+	col       *obs.Collector // nil when stats are off; all methods no-op
 	betas     []BetaCluster
-	critCache map[int]int // nP -> critical value at cfg.Alpha (p = 1/6)
+	critCache map[int]int // nP -> θ (see criticalValue) at cfg.Alpha (p = 1/6)
 	lBuf      []float64   // scratch cell bounds for the overlap check
 	uBuf      []float64
+	pathBuf   ctree.Path // scratch neighbor path for the serial scan
 	// levelCache materializes each tree level's (path, cell) slice once
 	// so the parallel scan can partition it into contiguous chunks; the
 	// cell set per level is fixed for the searcher's lifetime (only the
@@ -277,15 +341,28 @@ func (s *searcher) findBetaClusters() []BetaCluster {
 		if s.cfg.MaxBetaClusters > 0 && len(s.betas) >= s.cfg.MaxBetaClusters {
 			return s.betas
 		}
+		s.col.AddScanPass()
 		found := false
 		for h := 2; h <= s.tree.H-1; h++ {
+			spScan := s.col.Start(obs.PhaseConvScan)
 			path, cell := s.densestCell(h)
+			spScan.EndAtLevel(h)
 			if cell == nil {
 				continue
 			}
 			cell.Used = true
-			if beta, ok := s.testCell(path, cell); ok {
+			spTest := s.col.Start(obs.PhaseBetaTest)
+			beta, ok := s.testCell(path, cell)
+			spTest.End()
+			s.col.AddBetaTest(ok)
+			if s.col.WantsProgress() {
+				s.col.Progress(obs.PhaseConvScan, s.col.MaskEvals(), 0)
+			}
+			if ok {
 				s.betas = append(s.betas, beta)
+				if s.col.WantsProgress() {
+					s.col.Progress(obs.PhaseBetaTest, int64(len(s.betas)), 0)
+				}
 				found = true
 				break // restart from level 2
 			}
@@ -310,27 +387,35 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell) {
 	var bestPath ctree.Path
 	var bestCell *ctree.Cell
 	bestVal := int64(math.MinInt64)
+	if s.pathBuf == nil {
+		s.pathBuf = make(ctree.Path, 0, s.tree.H)
+	}
+	var maskEvals int64 // merged once per level: hot loop stays counter-free
 	s.tree.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) {
 		if c.Used || s.sharesSpaceWithBeta(p) {
 			return
 		}
-		v := s.maskValue(p, c)
+		v := s.maskValue(p, c, s.pathBuf)
+		maskEvals++
 		if v > bestVal || (v == bestVal && bestCell != nil && p.Compare(bestPath) < 0) {
 			bestVal = v
 			bestPath = p.Clone()
 			bestCell = c
 		}
 	})
+	s.col.AddMaskEvals(maskEvals)
 	return bestPath, bestCell
 }
 
 // maskValue applies the configured convolution mask to the cell c at
-// path p. It only reads the tree, so concurrent calls are safe.
-func (s *searcher) maskValue(p ctree.Path, c *ctree.Cell) int64 {
+// path p, using buf as neighbor-path scratch so the face mask allocates
+// nothing. It only reads the tree, so concurrent calls with distinct
+// scratch are safe.
+func (s *searcher) maskValue(p ctree.Path, c *ctree.Cell, buf ctree.Path) int64 {
 	if s.cfg.FullMask {
 		return conv.FullValue(s.tree, p, c)
 	}
-	return conv.FaceValue(s.tree, p, c)
+	return conv.FaceValueScratch(s.tree, p, c, buf)
 }
 
 // sharesSpaceWithBeta reports whether the cell at path p overlaps any
@@ -383,7 +468,7 @@ func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
 		} else {
 			cP[j] = int64(parent.N) - int64(parent.P[j])
 		}
-		if nP[j] > 0 && cP[j] > int64(s.criticalValue(int(nP[j]))) {
+		if s.isSignificant(cP[j], nP[j]) {
 			significant = true
 		}
 	}
@@ -446,21 +531,38 @@ func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
 	return beta, true
 }
 
-// criticalValue memoizes the one-sided Binomial(n, 1/6) critical value at
-// the configured significance: the same nP values recur across cells.
+// isSignificant applies the paper's one-sided test (Section III-C):
+// observing cP points in a half-space of an nP-point neighborhood
+// rejects the uniform null exactly when cP > θnα, with θnα from
+// criticalValue. The boundary is pinned by TestSignificanceBoundary.
+func (s *searcher) isSignificant(cP, nP int64) bool {
+	return nP > 0 && cP > int64(s.criticalValue(int(nP)))
+}
+
+// criticalValue memoizes θnα, the one-sided Binomial(n, 1/6) critical
+// value at the configured significance: the largest count still
+// consistent with uniformity, so cP > θ rejects (the paper's cPj > θjα
+// test). stats.BinomCriticalValue returns the smallest k with
+// P(X >= k) <= α, hence θ = k - 1. (An earlier version compared
+// cP > k itself, silently demanding one count more than α requires;
+// the regression test pins cP == θ and cP == θ±1.) The same nP values
+// recur across cells, so the θ values are cached per n.
 func (s *searcher) criticalValue(n int) int {
 	if v, ok := s.critCache[n]; ok {
+		s.col.AddCritCache(true)
 		return v
 	}
-	v := stats.BinomCriticalValue(n, 1.0/6.0, s.cfg.Alpha)
+	s.col.AddCritCache(false)
+	v := stats.BinomCriticalValue(n, 1.0/6.0, s.cfg.Alpha) - 1
 	s.critCache[n] = v
 	return v
 }
 
 // buildClusters groups β-clusters that transitively share space into
 // correlation clusters via union-find (Algorithm 3) and unions their
-// relevant axes.
-func buildClusters(betas []BetaCluster, d int) []Cluster {
+// relevant axes. merges counts the unions that joined two previously
+// separate groups, so len(betas) - merges == len(clusters).
+func buildClusters(betas []BetaCluster, d int) (clusters []Cluster, merges int) {
 	n := len(betas)
 	parent := make([]int, n)
 	for i := range parent {
@@ -478,6 +580,7 @@ func buildClusters(betas []BetaCluster, d int) []Cluster {
 		ra, rb := find(a), find(b)
 		if ra != rb {
 			parent[rb] = ra
+			merges++
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -488,7 +591,6 @@ func buildClusters(betas []BetaCluster, d int) []Cluster {
 		}
 	}
 	idByRoot := make(map[int]int)
-	var clusters []Cluster
 	for i := 0; i < n; i++ {
 		root := find(i)
 		id, ok := idByRoot[root]
@@ -505,7 +607,7 @@ func buildClusters(betas []BetaCluster, d int) []Cluster {
 			}
 		}
 	}
-	return clusters
+	return clusters, merges
 }
 
 // labelPoints assigns each point to the correlation cluster owning the
@@ -513,7 +615,7 @@ func buildClusters(betas []BetaCluster, d int) []Cluster {
 // not share space, so the assignment is unambiguous. Each point's label
 // depends only on that point, so the range is split across workers
 // (parallel.go) with no effect on the output.
-func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, workers int) []int {
+func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, workers int, col *obs.Collector) []int {
 	labels := make([]int, ds.Len())
 	betaOwner := make([]int, len(betas))
 	for _, c := range clusters {
@@ -521,7 +623,9 @@ func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, w
 			betaOwner[b] = c.ID
 		}
 	}
+	total := int64(ds.Len())
 	labelRange := func(lo, hi int) {
+		var noise int64 // plain locals in the hot loop; merged once per range
 		for i := lo; i < hi; i++ {
 			pt := ds.Points[i]
 			labels[i] = Noise
@@ -531,6 +635,14 @@ func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, w
 					break
 				}
 			}
+			if labels[i] == Noise {
+				noise++
+			}
+		}
+		n := int64(hi - lo)
+		done := col.AddLabeled(n-noise, noise)
+		if col.WantsProgress() {
+			col.Progress(obs.PhaseLabeling, done, total)
 		}
 	}
 	if workers > 1 && ds.Len() >= minParallelPoints {

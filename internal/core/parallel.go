@@ -127,24 +127,30 @@ func (s *searcher) densestCellParallel(h int) (ctree.Path, *ctree.Cell) {
 
 // scanChunk computes the chunk's argmax under the (value, path) order.
 // It only reads shared state — the tree, the β-cluster list, and the
-// Used flags (mutated strictly between scans) — and owns its bounds
-// scratch, so concurrent calls on disjoint chunks are race-free.
+// Used flags (mutated strictly between scans) — and owns its bounds and
+// neighbor-path scratch, so concurrent calls on disjoint chunks are
+// race-free. Instrumentation stays out of the loop: mask applications
+// are counted in a local and merged with one atomic add per chunk.
 func (s *searcher) scanChunk(entries []levelEntry) chunkBest {
 	best := chunkBest{val: math.MinInt64}
 	d := s.tree.D
 	lBuf := make([]float64, d)
 	uBuf := make([]float64, d)
+	pathBuf := make(ctree.Path, 0, s.tree.H)
+	var maskEvals int64
 	for i := range entries {
 		e := &entries[i]
 		if e.cell.Used || s.sharesSpaceWithBetaInto(e.path, lBuf, uBuf) {
 			continue
 		}
-		v := s.maskValue(e.path, e.cell)
+		v := s.maskValue(e.path, e.cell, pathBuf)
+		maskEvals++
 		cand := chunkBest{val: v, path: e.path, cell: e.cell}
 		if cand.better(&best) {
 			best = cand
 		}
 	}
+	s.col.AddMaskEvals(maskEvals)
 	return best
 }
 

@@ -30,6 +30,15 @@ const MinLevels = 3
 // singleton far shallower than this for any realistic dataset.
 const MaxLevels = 60
 
+// MaxPoints bounds the number of points one Counting-tree can count.
+// Cell.N and the half-space counts Cell.P are int32 (a deliberate
+// memory trade-off: the tree stores d+1 counters per non-empty cell
+// across H-1 levels), so counting more than 2^31-1 points — by
+// inserting or by merging shards whose totals sum past it — would
+// silently wrap the counts. Insert and MergeFrom refuse instead;
+// datasets beyond this size must be sharded into separate trees.
+const MaxPoints = math.MaxInt32
+
 // Cell is one hyper-grid cell. Loc is its position relative to its
 // parent: bit j set means the cell sits in the upper half of axis j.
 // P[j] counts the points in the cell's lower half along axis j.
@@ -71,6 +80,8 @@ func (nd *Node) ensure(loc uint64, d int) *Cell {
 		return nd.Cells[i]
 	}
 	c := &Cell{Loc: loc, P: make([]int32, d)}
+	// The int32 cast cannot wrap: a node holds at most one cell per
+	// counted point and trees refuse to count past MaxPoints = 2^31-1.
 	nd.index[loc] = int32(len(nd.Cells))
 	nd.Cells = append(nd.Cells, c)
 	return c
@@ -92,6 +103,19 @@ type Tree struct {
 // [0,1)^d, with H resolutions (Algorithm 1). It is a single scan over
 // the data: O(η·H·d) time, O(H·η·d) space.
 func Build(ds *dataset.Dataset, H int) (*Tree, error) {
+	return buildReporting(ds, H, nil)
+}
+
+// buildReportEvery is how many insertions a shard batches before
+// invoking the progress report, keeping the callback off the per-point
+// path.
+const buildReportEvery = 8192
+
+// buildReporting is Build with an optional progress report: report is
+// invoked with insertion-count deltas roughly every buildReportEvery
+// points (and once with the remainder). The observability layer hooks
+// the sharded parallel build through it.
+func buildReporting(ds *dataset.Dataset, H int, report func(delta int)) (*Tree, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("ctree: empty dataset")
 	}
@@ -105,10 +129,20 @@ func Build(ds *dataset.Dataset, H int) (*Tree, error) {
 		return nil, fmt.Errorf("ctree: H must be <= %d, got %d", MaxLevels, H)
 	}
 	t := &Tree{D: ds.Dims, H: H, Root: newNode()}
+	pending := 0
 	for i, p := range ds.Points {
 		if err := t.Insert(p); err != nil {
 			return nil, fmt.Errorf("ctree: point %d: %w", i, err)
 		}
+		if report != nil {
+			if pending++; pending == buildReportEvery {
+				report(pending)
+				pending = 0
+			}
+		}
+	}
+	if report != nil && pending > 0 {
+		report(pending)
 	}
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mrcc/internal/dataset"
 )
@@ -12,9 +13,15 @@ import (
 // exactly as Build's single scan does. The clustering phase can then be
 // re-run over the updated tree (after ResetUsed), which is how a
 // downstream system keeps clusters fresh while data streams in.
+//
+// Insert refuses to count past MaxPoints: Cell.N and Cell.P are int32
+// and the counts would otherwise silently wrap.
 func (t *Tree) Insert(p []float64) error {
 	if len(p) != t.D {
 		return fmt.Errorf("ctree: point has %d values, want %d", len(p), t.D)
+	}
+	if t.Eta >= MaxPoints {
+		return fmt.Errorf("ctree: tree already counts %d points, the int32 cell-counter maximum (MaxPoints); shard larger datasets into separate trees", t.Eta)
 	}
 	node := t.Root
 	var prev *Cell
@@ -56,6 +63,11 @@ func (t *Tree) Insert(p []float64) error {
 // MergeFrom adds every count of other into t. Both trees must have the
 // same dimensionality and resolution count. other is left untouched;
 // use it to combine trees built over shards of one dataset.
+//
+// MergeFrom refuses a merge whose combined point count would exceed
+// MaxPoints: every cell counter is int32 and the root cells (which
+// count all η points of their subtree) would wrap first. t is left
+// unmodified when an error is returned.
 func (t *Tree) MergeFrom(other *Tree) error {
 	if other == nil {
 		return nil
@@ -63,6 +75,10 @@ func (t *Tree) MergeFrom(other *Tree) error {
 	if t.D != other.D || t.H != other.H {
 		return fmt.Errorf("ctree: cannot merge (d=%d, H=%d) with (d=%d, H=%d)",
 			t.D, t.H, other.D, other.H)
+	}
+	if int64(t.Eta)+int64(other.Eta) > int64(MaxPoints) {
+		return fmt.Errorf("ctree: merging %d + %d points exceeds the int32 cell-counter maximum %d (MaxPoints); shard into separate trees",
+			t.Eta, other.Eta, int64(MaxPoints))
 	}
 	mergeNodes(t.Root, other.Root, t.D)
 	t.Eta += other.Eta
@@ -88,20 +104,41 @@ func mergeNodes(dst, src *Node, d int) {
 	}
 }
 
+// ProgressFunc reports build progress: done of total points have been
+// counted into the tree. Shard goroutines may invoke it concurrently;
+// BuildParallelProgress callers that need serialization must provide it
+// (the obs.Collector does).
+type ProgressFunc func(done, total int)
+
 // BuildParallel builds the Counting-tree with `workers` goroutines, each
 // counting a shard of the dataset into a private tree, then merging.
 // It produces exactly the same counts as Build (cell iteration order may
 // differ, but the clustering phase's deterministic tie-break makes the
 // final clustering identical). workers <= 0 selects GOMAXPROCS.
 func BuildParallel(ds *dataset.Dataset, H, workers int) (*Tree, error) {
+	return BuildParallelProgress(ds, H, workers, nil)
+}
+
+// BuildParallelProgress is BuildParallel with an optional progress
+// callback, invoked with the cumulative insertion count roughly every
+// few thousand points. A nil progress adds no overhead.
+func BuildParallelProgress(ds *dataset.Dataset, H, workers int, progress ProgressFunc) (*Tree, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("ctree: empty dataset")
 	}
+	total := ds.Len()
+	var report func(delta int)
+	if progress != nil {
+		var done atomic.Int64
+		report = func(delta int) {
+			progress(int(done.Add(int64(delta))), total)
+		}
+	}
 	if workers == 1 || ds.Len() < 4*workers {
-		return Build(ds, H)
+		return buildReporting(ds, H, report)
 	}
 	shardSize := (ds.Len() + workers - 1) / workers
 	trees := make([]*Tree, workers)
@@ -120,7 +157,7 @@ func BuildParallel(ds *dataset.Dataset, H, workers int) (*Tree, error) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			shard := &dataset.Dataset{Dims: ds.Dims, Points: ds.Points[lo:hi]}
-			trees[w], errs[w] = Build(shard, H)
+			trees[w], errs[w] = buildReporting(shard, H, report)
 		}(w, lo, hi)
 	}
 	wg.Wait()

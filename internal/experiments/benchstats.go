@@ -1,0 +1,98 @@
+package experiments
+
+// Bench-stats emission (ISSUE 2): a machine-readable record of the
+// parallel pipeline's performance, one JSON document per invocation,
+// mirroring BenchmarkParallelPipeline's dataset (10-dim, 5-cluster,
+// 15% noise, seed 42, 100k points at scale 1). CI runs this at a small
+// scale as a smoke test and uploads results/bench_stats.json as an
+// artifact; EXPERIMENTS.md records a baseline row.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"mrcc/internal/core"
+	"mrcc/internal/obs"
+	"mrcc/internal/synthetic"
+)
+
+// BenchStatsRecord is one (workers) row of a bench-stats run: wall
+// time, throughput, cluster counts and the full observability stats of
+// a single pipeline run.
+type BenchStatsRecord struct {
+	Timestamp    string     `json:"timestamp"`
+	Dataset      string     `json:"dataset"`
+	Scale        float64    `json:"scale"`
+	Points       int        `json:"points"`
+	Dims         int        `json:"dims"`
+	H            int        `json:"h"`
+	Workers      int        `json:"workers"`
+	Seconds      float64    `json:"seconds"`
+	PointsPerSec float64    `json:"pointsPerSec"`
+	BetaClusters int        `json:"betaClusters"`
+	Clusters     int        `json:"clusters"`
+	Stats        *obs.Stats `json:"stats"`
+}
+
+// benchStatsConfig is the dataset of BenchmarkParallelPipeline at the
+// given scale: 100k × scale points in 10 dims, 5 subspace clusters,
+// 15% noise, seed 42.
+func benchStatsConfig(scale float64) synthetic.Config {
+	points := int(100000 * scale)
+	if points < 100 {
+		points = 100
+	}
+	return synthetic.Config{
+		Dims: 10, Points: points, Clusters: 5, NoiseFrac: 0.15,
+		MinClusterDim: 5, MaxClusterDim: 10, Seed: 42,
+	}
+}
+
+// BenchStats runs the full pipeline once per worker count over the
+// bench dataset, with stats collection on, and returns one record per
+// run. All runs share the same generated dataset.
+func BenchStats(opt Options, workerCounts []int) ([]BenchStatsRecord, error) {
+	opt = opt.withDefaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 0}
+	}
+	cfg := benchStatsConfig(opt.Scale)
+	ds, _, err := synthetic.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("benchstats: generate: %w", err)
+	}
+	records := make([]BenchStatsRecord, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		runCfg := core.Config{Workers: w, CollectStats: true}
+		start := time.Now()
+		res, err := core.Run(ds, runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchstats: run (workers=%d): %w", w, err)
+		}
+		secs := time.Since(start).Seconds()
+		records = append(records, BenchStatsRecord{
+			Timestamp:    time.Now().UTC().Format(time.RFC3339),
+			Dataset:      "bench-10d-5c",
+			Scale:        opt.Scale,
+			Points:       ds.Len(),
+			Dims:         ds.Dims,
+			H:            core.DefaultH,
+			Workers:      w,
+			Seconds:      secs,
+			PointsPerSec: float64(ds.Len()) / secs,
+			BetaClusters: len(res.Betas),
+			Clusters:     res.NumClusters(),
+			Stats:        res.Stats,
+		})
+	}
+	return records, nil
+}
+
+// WriteBenchStats renders the records as one indented JSON document.
+func WriteBenchStats(w io.Writer, records []BenchStatsRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

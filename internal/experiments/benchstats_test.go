@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchStats pins the bench-stats record shape: one record per
+// worker count, identical clustering across worker counts, and a
+// populated stats block in every record.
+func TestBenchStats(t *testing.T) {
+	records, err := BenchStats(Options{Scale: 0.02}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	for _, r := range records {
+		if r.Points != 2000 || r.Dims != 10 {
+			t.Errorf("workers=%d: shape %dx%d, want 2000x10", r.Workers, r.Points, r.Dims)
+		}
+		if r.Stats == nil {
+			t.Fatalf("workers=%d: no stats block", r.Workers)
+		}
+		if r.Stats.TreeBuild.WallNS <= 0 || r.Stats.BetaSearch.WallNS <= 0 {
+			t.Errorf("workers=%d: phase wall times missing", r.Workers)
+		}
+		if r.Stats.Counters.MaskEvals <= 0 {
+			t.Errorf("workers=%d: mask-evaluation counter missing", r.Workers)
+		}
+		if r.PointsPerSec <= 0 {
+			t.Errorf("workers=%d: pointsPerSec = %g", r.Workers, r.PointsPerSec)
+		}
+	}
+	// The serial-equivalence guarantee shows through the records: both
+	// worker counts must find the same clustering.
+	if records[0].Clusters != records[1].Clusters || records[0].BetaClusters != records[1].BetaClusters {
+		t.Errorf("cluster counts differ across workers: %+v vs %+v", records[0], records[1])
+	}
+}
+
+// TestWriteBenchStats pins the JSON shape CI archives as an artifact.
+func TestWriteBenchStats(t *testing.T) {
+	records, err := BenchStats(Options{Scale: 0.01}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchStats(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchStatsRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(back) != 1 || back[0].Stats == nil {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}

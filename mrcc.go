@@ -20,6 +20,7 @@ package mrcc
 import (
 	"mrcc/internal/core"
 	"mrcc/internal/dataset"
+	"mrcc/internal/obs"
 )
 
 // Noise is the label assigned to points belonging to no cluster.
@@ -47,6 +48,24 @@ type Cluster = core.Cluster
 // BetaCluster is one β-cluster (a dense hyper-rectangular region in a
 // subspace, the building block of correlation clusters).
 type BetaCluster = core.BetaCluster
+
+// Stats is a run's observability record: per-phase wall times,
+// runtime.MemStats deltas and pipeline counters. Result.Stats carries
+// one when Config.CollectStats (or Config.Progress) is set; it
+// marshals to JSON and renders a human table via Stats.Format.
+type Stats = obs.Stats
+
+// PhaseStat aggregates one phase's wall time and memory movement.
+type PhaseStat = obs.PhaseStat
+
+// Phase identifies one stage of the pipeline in Stats and progress
+// callbacks (obs.PhaseNormalize .. obs.PhaseLabeling).
+type Phase = obs.Phase
+
+// ProgressFunc receives coarse progress callbacks when installed as
+// Config.Progress; it is serialized, so it is safe for any worker
+// count.
+type ProgressFunc = obs.ProgressFunc
 
 // Dataset is the in-memory dataset container. See the dataset helpers
 // re-exported below for construction and I/O.
@@ -77,19 +96,43 @@ func Run(rows [][]float64, cfg Config) (*Result, error) {
 }
 
 // RunDataset clusters the dataset, normalizing a copy first so the
-// caller's data is left untouched.
+// caller's data is left untouched. When Config.CollectStats or
+// Config.Progress is set, the normalization pass is measured and
+// reported as the Normalize phase of Result.Stats.
 func RunDataset(ds *Dataset, cfg Config) (*Result, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
+	wantStats := cfg.CollectStats || cfg.Progress != nil
 	work := ds
+	var norm obs.PhaseStat
 	if !ds.IsNormalized() {
-		work = ds.Clone()
-		if _, _, err := work.Normalize(); err != nil {
-			return nil, err
+		var normErr error
+		normalize := func() {
+			work = ds.Clone()
+			_, _, normErr = work.Normalize()
+		}
+		if wantStats {
+			norm = obs.Measure(normalize)
+		} else {
+			normalize()
+		}
+		if normErr != nil {
+			return nil, normErr
+		}
+		if cfg.Progress != nil {
+			n := int64(ds.Len())
+			cfg.Progress(obs.PhaseNormalize, n, n)
 		}
 	}
-	return core.Run(work, cfg)
+	res, err := core.Run(work, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if wantStats && res.Stats != nil {
+		res.Stats.Normalize = norm
+	}
+	return res, nil
 }
 
 // RunNormalized clusters a dataset that is already embedded in [0,1)^d,

@@ -4,9 +4,12 @@ import (
 	"math"
 	"math/rand"
 	"path/filepath"
+	"reflect"
+	"sync"
 	"testing"
 
 	"mrcc"
+	"mrcc/internal/obs"
 )
 
 // twoClusterRows builds two tight Gaussian clusters in overlapping
@@ -165,5 +168,53 @@ func TestNewDatasetAppend(t *testing.T) {
 	ds.Append([]float64{0.1, 0.2, 0.3})
 	if ds.Len() != 1 || ds.Dims != 3 {
 		t.Errorf("shape d=%d n=%d", ds.Dims, ds.Len())
+	}
+}
+
+// TestRunStatsAndProgress pins the facade side of the observability
+// layer: a raw-scale run with CollectStats must report a measured
+// normalization phase plus the pipeline phases, stats must not change
+// the clustering, and an installed Progress callback must see the
+// normalize and labeling phases.
+func TestRunStatsAndProgress(t *testing.T) {
+	rows := twoClusterRows(500, 1200)
+	plain, err := mrcc.Run(rows, mrcc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[mrcc.Phase]bool)
+	var mu sync.Mutex
+	res, err := mrcc.Run(rows, mrcc.Config{
+		CollectStats: true,
+		Progress: func(p mrcc.Phase, done, total int64) {
+			mu.Lock()
+			seen[p] = true
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st == nil {
+		t.Fatal("CollectStats set but Result.Stats is nil")
+	}
+	if st.Normalize.Spans != 1 || st.Normalize.WallNS <= 0 {
+		t.Errorf("normalize phase not measured: %+v", st.Normalize)
+	}
+	if st.TreeBuild.WallNS <= 0 || st.BetaSearch.WallNS <= 0 {
+		t.Error("pipeline phase wall times missing")
+	}
+	if st.Counters.LabeledPoints+st.Counters.NoisePoints != int64(len(rows)) {
+		t.Errorf("labeled+noise = %d, want %d",
+			st.Counters.LabeledPoints+st.Counters.NoisePoints, len(rows))
+	}
+	if !reflect.DeepEqual(plain.Labels, res.Labels) {
+		t.Error("stats collection changed the labels")
+	}
+	for _, p := range []mrcc.Phase{obs.PhaseNormalize, obs.PhaseLabeling} {
+		if !seen[p] {
+			t.Errorf("progress never reported phase %v", p)
+		}
 	}
 }
