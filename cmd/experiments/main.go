@@ -8,11 +8,18 @@
 //	experiments -fig fig5-first [-scale 0.1] [-methods MrCC,LAC] [-sweep] [-workers 0]
 //	experiments -fig all -scale 0.05
 //	experiments -benchstats results/bench_stats.json [-scale 0.05] [-workers 4]
+//	experiments -benchscan results/bench_scan.json [-scale 0.05]
 //
 // -benchstats runs the parallel-pipeline benchmark dataset once per
 // worker count with the observability layer on and writes the records
 // (wall times, throughput, per-phase stats) as JSON to the given path
 // ("-" for stdout). CI runs it at a small scale as a smoke test.
+//
+// -benchscan isolates phase two (the β-cluster search) over one shared
+// Counting-tree: the pre-PR naive re-convolving scan at Workers=1,
+// then the default one-shot convolution cache at 1, 4 and 8 workers,
+// writing per-row phase-two wall times and speedups as JSON. CI runs
+// it at a small scale; EXPERIMENTS.md records the full-scale series.
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 		workers = flag.Int("workers", 0, "MrCC pipeline parallelism (0 = all CPUs, 1 = serial)")
 		csvOut  = flag.String("csv", "", "also export the measurements to this CSV file")
 		bench   = flag.String("benchstats", "", "write pipeline bench stats (JSON) to this path (\"-\" = stdout) and exit")
+		scan    = flag.String("benchscan", "", "write β-search scan bench records (JSON) to this path (\"-\" = stdout) and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -57,8 +65,15 @@ func main() {
 		}
 		return
 	}
+	if *scan != "" {
+		if err := runBenchScan(*scan, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, or -benchstats)")
+		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -133,5 +148,40 @@ func runBenchStats(path string, opt experiments.Options) error {
 			r.Workers, r.Points, r.Seconds, r.PointsPerSec, r.Clusters)
 	}
 	fmt.Printf("wrote %d bench-stats records to %s\n", len(records), path)
+	return nil
+}
+
+// runBenchScan runs the β-search scan bench (naive baseline plus the
+// cached scan at 1/4/8 workers) and writes the JSON records to path or
+// stdout.
+func runBenchScan(path string, opt experiments.Options) error {
+	records, err := experiments.BenchScan(opt, nil)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return experiments.WriteBenchScan(os.Stdout, records)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchScan(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if r.BetaSearchSpeedup > 0 {
+			fmt.Printf("benchscan: %s workers=%d betaSearch=%.3fs (%.2fx vs naive) betas=%d\n",
+				r.Mode, r.Workers, r.BetaSearchSeconds, r.BetaSearchSpeedup, r.BetaClusters)
+		} else {
+			fmt.Printf("benchscan: %s workers=%d betaSearch=%.3fs betas=%d\n",
+				r.Mode, r.Workers, r.BetaSearchSeconds, r.BetaClusters)
+		}
+	}
+	fmt.Printf("wrote %d bench-scan records to %s\n", len(records), path)
 	return nil
 }

@@ -8,6 +8,11 @@
 //	     [-out labels.csv] [-json] [-stats]
 //	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
+// -stats prints the per-phase wall/memory table and the pipeline
+// counters, including the β-search scan-cache line (level builds,
+// cached values, index lookups, eligibility skips, scan depth — see
+// DESIGN.md §7); -json emits the same record machine-readably.
+//
 // Exit status is 0 on success, 1 on runtime errors (unreadable input,
 // clustering failure, write errors) and 2 on invalid flags.
 package main

@@ -36,7 +36,7 @@ func main() {
 		full.Points[i], full.Points[j] = full.Points[j], full.Points[i]
 	})
 
-	tree := &ctree.Tree{}
+	var tree *ctree.Tree
 	seen := dataset.New(full.Dims, full.Len())
 	const batch = 5000
 	for start := 0; start < full.Len(); start += batch {
@@ -45,12 +45,12 @@ func main() {
 			end = full.Len()
 		}
 		for _, p := range full.Points[start:end] {
-			if tree.Root == nil {
+			if tree == nil {
 				t, err := ctree.Build(&dataset.Dataset{Dims: full.Dims, Points: [][]float64{p}}, core.DefaultH)
 				if err != nil {
 					log.Fatal(err)
 				}
-				*tree = *t
+				tree = t
 			} else if err := tree.Insert(p); err != nil {
 				log.Fatal(err)
 			}

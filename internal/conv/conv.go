@@ -37,23 +37,105 @@ func FaceValueScratch(t *ctree.Tree, p ctree.Path, c *ctree.Cell, buf ctree.Path
 	return v
 }
 
+// FaceValueIndexed is FaceValue over a level-index entry: neighbor
+// resolution goes through the index's coordinate-keyed flat hash (one
+// probe per neighbor) instead of a root-to-leaf CellAt descent through
+// per-node maps. It returns the convolution value and the number of
+// index lookups performed (in-grid neighbors only), so callers can
+// merge the count into the observability layer per chunk. buf is path
+// scratch (grown as needed); each worker owns its own.
+func FaceValueIndexed(ix *ctree.LevelIndex, i int, buf ctree.Path) (v, lookups int64) {
+	d := ix.Dims()
+	v = int64(2*d) * int64(ix.Cell(i).N)
+	for j := 0; j < d; j++ {
+		for _, upper := range [2]bool{false, true} {
+			var ni int
+			ni, buf = ix.NeighborLookup(i, j, upper, buf)
+			if ni >= 0 {
+				v -= int64(ix.Cell(ni).N)
+			}
+			lookups++
+		}
+	}
+	return v, lookups
+}
+
+// FaceValuesSerial fills vals — one slot per entry of the level index,
+// zeroed by the caller — with the face-mask value of every entry, using
+// ONE upper-neighbor probe per (entry, axis) instead of two: face
+// adjacency is symmetric, so when entry k turns up as entry i's upper
+// neighbor along axis j, i is exactly k's lower neighbor there, and
+// both subtractions come off the single probe. That halves the hash
+// traffic of the one-shot convolution-cache build (core's scancache).
+// The parallel build keeps the per-entry gather (FaceValueIndexed)
+// because the scatter write to vals[k] would cross chunk boundaries.
+// Both produce identical values — the same integer terms, added in a
+// different order. Returns the number of index probes performed.
+func FaceValuesSerial(ix *ctree.LevelIndex, vals []int64) (lookups int64) {
+	return FaceValuesChunk(ix, 0, ix.Len(), vals)
+}
+
+// FaceValuesChunk scatters the symmetric face-mask contributions of
+// entries [lo, hi) into out, which must span the whole level (length
+// ix.Len(), zeroed): entry i's own 2d·n(i) term plus the ±1 adjacency
+// terms for every stored upper neighbor — written to BOTH ends of the
+// adjacency, which may land outside [lo, hi). Parallel builders give
+// each worker a private out slab and sum the slabs; integer addition
+// commutes exactly, so any chunking and merge order yields the same
+// values as the serial pass.
+func FaceValuesChunk(ix *ctree.LevelIndex, lo, hi int, out []int64) (lookups int64) {
+	d := ix.Dims()
+	twoD := int64(2 * d)
+	var buf ctree.Path
+	for i := lo; i < hi; i++ {
+		ci := int64(ix.Cell(i).N)
+		out[i] += twoD * ci
+		for j := 0; j < d; j++ {
+			var k int
+			k, buf = ix.NeighborLookup(i, j, true, buf)
+			lookups++
+			if k >= 0 {
+				out[i] -= int64(ix.Cell(k).N)
+				out[k] -= ci
+			}
+		}
+	}
+	return lookups
+}
+
 // FaceNeighborCounts returns, for each axis j, the point counts of the
 // lower and upper face neighbors of the cell at path p (zero when the
 // neighbor is absent or outside the cube). The clustering phase reuses
-// this both for the statistical test and for bound refinement.
+// this both for the statistical test and for bound refinement. Lookups
+// are served by the level's flat index (materializing the tree's level
+// indexes on first use) instead of per-neighbor CellAt descents.
 func FaceNeighborCounts(t *ctree.Tree, p ctree.Path) (lower, upper []int32) {
 	d := t.D
 	lower = make([]int32, d)
 	upper = make([]int32, d)
+	ix := t.LevelIndex(p.Level())
+	buf := make(ctree.Path, 0, p.Level())
 	for j := 0; j < d; j++ {
-		if np, ok := p.Neighbor(j, false); ok {
-			if nc := t.CellAt(np); nc != nil {
-				lower[j] = nc.N
+		for _, up := range [2]bool{false, true} {
+			var np ctree.Path
+			var ok bool
+			np, ok = p.NeighborInto(buf, j, up)
+			if !ok {
+				continue
 			}
-		}
-		if np, ok := p.Neighbor(j, true); ok {
-			if nc := t.CellAt(np); nc != nil {
-				upper[j] = nc.N
+			buf = np
+			var n int32
+			if ix != nil {
+				if ni := ix.Lookup(np); ni >= 0 {
+					n = ix.Cell(ni).N
+				}
+			} else if nc := t.CellAt(np); nc != nil {
+				n = nc.N
+			}
+			if up {
+				upper[j] = n
+			} else {
+				lower[j] = n
 			}
 		}
 	}

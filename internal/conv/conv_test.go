@@ -212,3 +212,28 @@ func TestFaceNeighborCountsMatchLookups(t *testing.T) {
 		}
 	})
 }
+
+// TestFaceValuesSerialMatchesIndexed pins the symmetric bulk pass
+// (half the probes, scatter to both sides of each adjacency) value-
+// for-value against the per-entry gather and against FaceValueScratch,
+// for every entry of every level.
+func TestFaceValuesSerialMatchesIndexed(t *testing.T) {
+	tr, _ := buildTree(t, 6, 3000, 9, 5)
+	for h := 1; h <= tr.H-1; h++ {
+		ix := tr.LevelIndex(h)
+		n := ix.Len()
+		bulk := make([]int64, n)
+		FaceValuesSerial(ix, bulk)
+		buf := make(ctree.Path, 0, h)
+		scratch := make(ctree.Path, 0, h)
+		for i := 0; i < n; i++ {
+			want, _ := FaceValueIndexed(ix, i, buf)
+			if bulk[i] != want {
+				t.Fatalf("level %d entry %d: bulk %d, gather %d", h, i, bulk[i], want)
+			}
+			if got := FaceValueScratch(tr, ix.PathOf(i), ix.Cell(i), scratch); got != want {
+				t.Fatalf("level %d entry %d: scratch %d, gather %d", h, i, got, want)
+			}
+		}
+	}
+}

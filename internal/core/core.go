@@ -61,6 +61,14 @@ type Config struct {
 	// for the A-mdl ablation that quantifies what the paper's MDL step
 	// buys; the method proper always uses MDL.
 	FixedRelevanceThreshold float64
+	// NaiveScan disables the one-shot convolution cache and runs the
+	// β-search with the original per-pass re-convolving scan. It exists
+	// only for the scan-equivalence suite and the phase-two benchmark
+	// that measures what the cache buys (BenchmarkBetaSearch); it is not
+	// exposed through the public facade. The cached scan is pinned
+	// bit-identical to the naive one (scan_equiv_test.go), so there is
+	// never a functional reason to set it.
+	NaiveScan bool
 	// Workers sets the parallelism of the pipeline: the Counting-tree
 	// build, the convolution scan, and point labeling all fan out over
 	// this many goroutines. 0 selects GOMAXPROCS; 1 forces the serial
@@ -273,8 +281,12 @@ func runOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs.Collecto
 	workers := cfg.workerCount()
 	if col != nil {
 		col.SetShape(ds.Len(), ds.Dims, cfg.H, workers)
+		// One walk for every level count: LevelCellCount per level would
+		// re-walk the whole tree H-1 times (O(H · cells) before the run
+		// even starts).
+		counts := t.LevelCellCounts()
 		for h := 1; h <= t.H-1; h++ {
-			col.CountCells(h, int64(t.LevelCellCount(h)))
+			col.CountCells(h, int64(counts[h]))
 		}
 	}
 	s := &searcher{tree: t, cfg: cfg, workers: workers, col: col, critCache: make(map[int]int)}
@@ -325,12 +337,13 @@ type searcher struct {
 	critCache map[int]int // nP -> θ (see criticalValue) at cfg.Alpha (p = 1/6)
 	lBuf      []float64   // scratch cell bounds for the overlap check
 	uBuf      []float64
-	pathBuf   ctree.Path // scratch neighbor path for the serial scan
-	// levelCache materializes each tree level's (path, cell) slice once
-	// so the parallel scan can partition it into contiguous chunks; the
-	// cell set per level is fixed for the searcher's lifetime (only the
-	// Used flags mutate, and they are re-checked on every pass).
-	levelCache map[int][]levelEntry
+	pathBuf   ctree.Path // scratch neighbor path for the naive serial scan
+	// scans holds the per-level one-shot convolution caches
+	// (scancache.go): the cell set and mask values of a level are fixed
+	// for the searcher's lifetime — only the Used flags and the
+	// β-cluster list change between restart passes, and the cached scan
+	// re-checks both per entry.
+	scans []*levelScan
 }
 
 // findBetaClusters runs the outer repeat loop of Algorithm 2: search
@@ -345,7 +358,7 @@ func (s *searcher) findBetaClusters() []BetaCluster {
 		found := false
 		for h := 2; h <= s.tree.H-1; h++ {
 			spScan := s.col.Start(obs.PhaseConvScan)
-			path, cell := s.densestCell(h)
+			path, cell, _ := s.densestCell(h)
 			spScan.EndAtLevel(h)
 			if cell == nil {
 				continue
@@ -373,16 +386,20 @@ func (s *searcher) findBetaClusters() []BetaCluster {
 	}
 }
 
-// densestCell convolutes the mask over every eligible cell at level h
-// and returns the one with the largest value (ties broken by the
-// lexicographically smallest path, so the method stays deterministic).
-// With more than one worker the level's cell slice is partitioned into
-// contiguous chunks whose per-chunk argmaxes reduce under the same
-// ordering, keeping the result bit-identical to the serial scan (see
-// parallel.go).
-func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell) {
+// densestCell returns the eligible (not Used, not β-overlapping) cell
+// at level h with the largest convolution value, ties broken by the
+// lexicographically smallest path so the method stays deterministic.
+// The default path reads the first eligible entry of the level's
+// cached (value desc, path asc) order (scancache.go); Config.NaiveScan
+// re-convolves every eligible cell per pass instead — serially via
+// WalkLevel or chunked across workers (parallel.go) — and is pinned
+// bit-identical to the cached path by the scan-equivalence suite.
+func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell, int64) {
+	if !s.cfg.NaiveScan {
+		return s.densestCellCached(h)
+	}
 	if s.workers > 1 {
-		return s.densestCellParallel(h)
+		return s.densestCellNaiveParallel(h)
 	}
 	var bestPath ctree.Path
 	var bestCell *ctree.Cell
@@ -404,7 +421,10 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell) {
 		}
 	})
 	s.col.AddMaskEvals(maskEvals)
-	return bestPath, bestCell
+	if bestCell == nil {
+		return nil, nil, 0
+	}
+	return bestPath, bestCell, bestVal
 }
 
 // maskValue applies the configured convolution mask to the cell c at
@@ -453,7 +473,18 @@ func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
 	d := s.tree.D
 	h := p.Level()
 	parentPath := p[:h-1]
-	parent := s.tree.CellAt(parentPath)
+	// Parent resolution goes through the level index (one hash probe)
+	// instead of a root-to-leaf CellAt descent; the CellAt fallback only
+	// runs for levels outside the indexed range, which testCell never
+	// sees in practice.
+	var parent *ctree.Cell
+	if ix := s.tree.LevelIndex(h); ix != nil {
+		if i := ix.Lookup(p); i >= 0 {
+			parent = ix.Parent(i)
+		}
+	} else {
+		parent = s.tree.CellAt(parentPath)
+	}
 	if parent == nil {
 		return BetaCluster{}, false
 	}

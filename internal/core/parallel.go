@@ -27,36 +27,6 @@ const minParallelCells = 256
 // stays serial.
 const minParallelPoints = 4096
 
-// levelEntry pairs a stored cell with its (stable) path. The paths are
-// carved out of one shared slab to keep the materialization cheap.
-type levelEntry struct {
-	path ctree.Path
-	cell *ctree.Cell
-}
-
-// levelEntries materializes level h once per searcher and memoizes it:
-// the cell set of a level never changes during the search, only the
-// Used flags and the β-cluster list do, and both are re-read on every
-// scan pass.
-func (s *searcher) levelEntries(h int) []levelEntry {
-	if s.levelCache == nil {
-		s.levelCache = make(map[int][]levelEntry)
-	}
-	if e, ok := s.levelCache[h]; ok {
-		return e
-	}
-	count := s.tree.LevelCellCount(h)
-	slab := make([]uint64, 0, count*h)
-	entries := make([]levelEntry, 0, count)
-	s.tree.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) {
-		start := len(slab)
-		slab = append(slab, p...)
-		entries = append(entries, levelEntry{path: ctree.Path(slab[start : start+h]), cell: c})
-	})
-	s.levelCache[h] = entries
-	return entries
-}
-
 // chunkBest is one worker's scan result: the maximal mask value in its
 // chunk and, among the maximal cells, the lexicographically smallest
 // path. cell == nil means the chunk had no eligible cell.
@@ -83,28 +53,33 @@ func (b *chunkBest) better(cur *chunkBest) bool {
 	return b.path.Compare(cur.path) < 0
 }
 
-// densestCellParallel is densestCell fanned out over s.workers chunks.
-func (s *searcher) densestCellParallel(h int) (ctree.Path, *ctree.Cell) {
-	entries := s.levelEntries(h)
+// densestCellNaiveParallel is the naive (per-pass re-convolving)
+// densestCell fanned out over s.workers chunks of the level's flat
+// index. It survives only behind Config.NaiveScan (the cached scan in
+// scancache.go replaced it as the default); the equivalence suite
+// still exercises it at every worker count.
+func (s *searcher) densestCellNaiveParallel(h int) (ctree.Path, *ctree.Cell, int64) {
+	ix := s.tree.LevelIndex(h)
+	n := ix.Len()
 	workers := s.workers
-	if len(entries) < minParallelCells {
+	if n < minParallelCells {
 		workers = 1
 	}
-	if workers > len(entries) {
-		workers = len(entries)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		best := s.scanChunk(entries)
-		return best.path, best.cell
+		best := s.scanChunk(ix, 0, n)
+		return best.path, best.cell, best.val
 	}
-	chunk := (len(entries) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	bests := make([]chunkBest, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(entries) {
-			hi = len(entries)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			continue
@@ -112,7 +87,7 @@ func (s *searcher) densestCellParallel(h int) (ctree.Path, *ctree.Cell) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			bests[w] = s.scanChunk(entries[lo:hi])
+			bests[w] = s.scanChunk(ix, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -122,30 +97,35 @@ func (s *searcher) densestCellParallel(h int) (ctree.Path, *ctree.Cell) {
 			best = bests[i]
 		}
 	}
-	return best.path, best.cell
+	if best.cell == nil {
+		return nil, nil, 0
+	}
+	return best.path, best.cell, best.val
 }
 
-// scanChunk computes the chunk's argmax under the (value, path) order.
-// It only reads shared state — the tree, the β-cluster list, and the
-// Used flags (mutated strictly between scans) — and owns its bounds and
-// neighbor-path scratch, so concurrent calls on disjoint chunks are
-// race-free. Instrumentation stays out of the loop: mask applications
-// are counted in a local and merged with one atomic add per chunk.
-func (s *searcher) scanChunk(entries []levelEntry) chunkBest {
+// scanChunk computes the [lo, hi) chunk's argmax under the (value,
+// path) order. It only reads shared state — the tree, the level index,
+// the β-cluster list, and the Used flags (mutated strictly between
+// scans) — and owns its bounds and neighbor-path scratch, so
+// concurrent calls on disjoint chunks are race-free. Instrumentation
+// stays out of the loop: mask applications are counted in a local and
+// merged with one atomic add per chunk.
+func (s *searcher) scanChunk(ix *ctree.LevelIndex, lo, hi int) chunkBest {
 	best := chunkBest{val: math.MinInt64}
 	d := s.tree.D
 	lBuf := make([]float64, d)
 	uBuf := make([]float64, d)
 	pathBuf := make(ctree.Path, 0, s.tree.H)
 	var maskEvals int64
-	for i := range entries {
-		e := &entries[i]
-		if e.cell.Used || s.sharesSpaceWithBetaInto(e.path, lBuf, uBuf) {
+	for i := lo; i < hi; i++ {
+		c := ix.Cell(i)
+		p := ix.PathOf(i)
+		if c.Used || s.sharesSpaceWithBetaInto(p, lBuf, uBuf) {
 			continue
 		}
-		v := s.maskValue(e.path, e.cell, pathBuf)
+		v := s.maskValue(p, c, pathBuf)
 		maskEvals++
-		cand := chunkBest{val: v, path: e.path, cell: e.cell}
+		cand := chunkBest{val: v, path: p, cell: c}
 		if cand.better(&best) {
 			best = cand
 		}
@@ -157,6 +137,13 @@ func (s *searcher) scanChunk(entries []levelEntry) chunkBest {
 // parallelRanges splits [0, n) into `workers` contiguous ranges and
 // runs fn on each concurrently. fn must be safe on disjoint ranges.
 func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	parallelRangesIndexed(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// parallelRangesIndexed is parallelRanges additionally passing each
+// worker's ordinal, for callers that keep per-worker state (e.g. the
+// scatter slabs of the face-value cache build).
+func parallelRangesIndexed(n, workers int, fn func(w, lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
@@ -172,10 +159,10 @@ func parallelRanges(n, workers int, fn func(lo, hi int)) {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }

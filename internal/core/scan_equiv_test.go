@@ -1,0 +1,201 @@
+package core_test
+
+import (
+	"testing"
+
+	"mrcc/internal/core"
+	"mrcc/internal/ctree"
+	"mrcc/internal/dataset"
+	"mrcc/internal/synthetic"
+)
+
+// TestScanCacheEquivalence pins the cached incremental β-search
+// (scancache.go, the default) bit-identical to the naive re-convolving
+// scan it replaced (Config.NaiveScan), end to end: same β-cluster list
+// (bounds, relevances, centers), same clusters, same labels. The matrix
+// spans dims {5, 10, 18} × workers {1, 2, 8} × face/full mask; the full
+// mask is O(3^d) per cell, so it runs at d=5 always and d=10 only
+// without -short, never at d=18.
+func TestScanCacheEquivalence(t *testing.T) {
+	cases := []struct {
+		name     string
+		gen      synthetic.Config
+		cfg      core.Config
+		workers  int
+		longOnly bool
+	}{
+		{
+			name: "d5_face_w1",
+			gen: synthetic.Config{Dims: 5, Points: 4000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 3, MaxClusterDim: 5, Seed: 101},
+			workers: 1,
+		},
+		{
+			name: "d5_face_w2",
+			gen: synthetic.Config{Dims: 5, Points: 4000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 3, MaxClusterDim: 5, Seed: 101},
+			workers: 2,
+		},
+		{
+			name: "d5_face_w8",
+			gen: synthetic.Config{Dims: 5, Points: 4000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 3, MaxClusterDim: 5, Seed: 101},
+			workers: 8,
+		},
+		{
+			name: "d5_full_w1",
+			gen: synthetic.Config{Dims: 5, Points: 4000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 3, MaxClusterDim: 5, Seed: 102},
+			cfg:     core.Config{FullMask: true},
+			workers: 1,
+		},
+		{
+			name: "d5_full_w8",
+			gen: synthetic.Config{Dims: 5, Points: 4000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 3, MaxClusterDim: 5, Seed: 102},
+			cfg:     core.Config{FullMask: true},
+			workers: 8,
+		},
+		{
+			name: "d10_face_w1",
+			gen: synthetic.Config{Dims: 10, Points: 8000, Clusters: 3, NoiseFrac: 0.15,
+				MinClusterDim: 5, MaxClusterDim: 8, Seed: 103},
+			workers: 1,
+		},
+		{
+			name: "d10_face_w2",
+			gen: synthetic.Config{Dims: 10, Points: 8000, Clusters: 3, NoiseFrac: 0.15,
+				MinClusterDim: 5, MaxClusterDim: 8, Seed: 103},
+			workers: 2,
+		},
+		{
+			name: "d10_face_w8",
+			gen: synthetic.Config{Dims: 10, Points: 8000, Clusters: 3, NoiseFrac: 0.15,
+				MinClusterDim: 5, MaxClusterDim: 8, Seed: 103},
+			workers: 8,
+		},
+		{
+			name: "d10_full_w1",
+			gen: synthetic.Config{Dims: 10, Points: 6000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 5, MaxClusterDim: 8, Seed: 104},
+			cfg:      core.Config{FullMask: true},
+			workers:  1,
+			longOnly: true,
+		},
+		{
+			name: "d18_face_w1",
+			gen: synthetic.Config{Dims: 18, Points: 12000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 12, MaxClusterDim: 16, Seed: 105},
+			workers:  1,
+			longOnly: true,
+		},
+		{
+			name: "d18_face_w2",
+			gen: synthetic.Config{Dims: 18, Points: 12000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 12, MaxClusterDim: 16, Seed: 105},
+			workers:  2,
+			longOnly: true,
+		},
+		{
+			name: "d18_face_w8",
+			gen: synthetic.Config{Dims: 18, Points: 12000, Clusters: 2, NoiseFrac: 0.1,
+				MinClusterDim: 12, MaxClusterDim: 16, Seed: 105},
+			workers:  8,
+			longOnly: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.longOnly && testing.Short() {
+				t.Skip("skipping large equivalence entry in -short mode")
+			}
+			ds, _ := genSmall(t, tc.gen)
+			naiveCfg := tc.cfg
+			naiveCfg.NaiveScan = true
+			naiveCfg.Workers = tc.workers
+			cachedCfg := tc.cfg
+			cachedCfg.Workers = tc.workers
+			naive, err := core.Run(ds, naiveCfg)
+			if err != nil {
+				t.Fatalf("naive run: %v", err)
+			}
+			cached, err := core.Run(ds, cachedCfg)
+			if err != nil {
+				t.Fatalf("cached run: %v", err)
+			}
+			assertResultsIdentical(t, naive, cached)
+			if len(naive.Betas) == 0 {
+				t.Fatal("degenerate table entry: no β-clusters found, equivalence is vacuous")
+			}
+		})
+	}
+}
+
+// TestScanCacheEquivalenceAllUsed is the exhausted-tree edge case: with
+// every stored cell already marked Used, both scans must agree that no
+// eligible cell exists (zero β-clusters, all points noise).
+func TestScanCacheEquivalenceAllUsed(t *testing.T) {
+	ds, _ := genSmall(t, synthetic.Config{
+		Dims: 6, Points: 3000, Clusters: 2, NoiseFrac: 0.1,
+		MinClusterDim: 3, MaxClusterDim: 5, Seed: 110,
+	})
+	run := func(naive bool) *core.Result {
+		t.Helper()
+		tr, err := ctree.Build(ds, core.DefaultH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := 1; h <= tr.H-1; h++ {
+			tr.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) { c.Used = true })
+		}
+		res, err := core.RunOnTree(tr, ds, core.Config{NaiveScan: naive, H: tr.H})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	naive, cached := run(true), run(false)
+	if len(naive.Betas) != 0 || len(cached.Betas) != 0 {
+		t.Fatalf("exhausted tree still yielded β-clusters: naive %d, cached %d",
+			len(naive.Betas), len(cached.Betas))
+	}
+	assertResultsIdentical(t, naive, cached)
+	for i, lb := range cached.Labels {
+		if lb != core.Noise {
+			t.Fatalf("point %d labeled %d on an exhausted tree, want Noise", i, lb)
+		}
+	}
+}
+
+// TestScanCacheEquivalenceSingleCellLevel is the degenerate-level edge
+// case: all points inside one tiny box store exactly one cell per level,
+// so every level's scan order has length one and the cached early exit
+// must still match the naive walk.
+func TestScanCacheEquivalenceSingleCellLevel(t *testing.T) {
+	ds := &dataset.Dataset{Dims: 4}
+	for i := 0; i < 600; i++ {
+		p := make([]float64, 4)
+		for j := range p {
+			p[j] = 0.001 + float64(i%7)*1e-5 + float64(j)*1e-6
+		}
+		ds.Points = append(ds.Points, p)
+	}
+	naive, err := core.Run(ds, core.Config{NaiveScan: true})
+	if err != nil {
+		t.Fatalf("naive run: %v", err)
+	}
+	cached, err := core.Run(ds, core.Config{})
+	if err != nil {
+		t.Fatalf("cached run: %v", err)
+	}
+	assertResultsIdentical(t, naive, cached)
+	tr, err := ctree.Build(ds, core.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= tr.H-1; h++ {
+		if n := tr.LevelCellCount(h); n != 1 {
+			t.Fatalf("level %d stores %d cells, want 1 (edge case is vacuous)", h, n)
+		}
+	}
+}

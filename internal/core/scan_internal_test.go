@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"mrcc/internal/ctree"
+	"mrcc/internal/dataset"
+	"mrcc/internal/synthetic"
+)
+
+// scanPairTree builds one shared tree for two searchers — the naive
+// re-convolving scan and the cached skip-scan — so per-pass winners can
+// be compared cell-pointer for cell-pointer.
+func scanPairTree(t *testing.T, gen synthetic.Config, h int) (*ctree.Tree, *dataset.Dataset) {
+	t.Helper()
+	ds, _, err := synthetic.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, ds
+}
+
+// newScanPair returns (naive, cached) searchers over the same tree.
+// Both run serial; parallel chunking is pinned elsewhere
+// (TestScanCacheEquivalence, TestParallelEquivalence).
+func newScanPair(tr *ctree.Tree, fullMask bool) (*searcher, *searcher) {
+	naive := &searcher{tree: tr, cfg: Config{NaiveScan: true, FullMask: fullMask}, workers: 1}
+	cached := &searcher{tree: tr, cfg: Config{FullMask: fullMask}, workers: 1}
+	return naive, cached
+}
+
+// betaFromCell builds a β-cluster box covering exactly the cell at p,
+// mimicking what a successful testCell would add.
+func betaFromCell(tr *ctree.Tree, p ctree.Path) BetaCluster {
+	d := tr.D
+	b := BetaCluster{L: make([]float64, d), U: make([]float64, d), Level: p.Level(), Center: p.Clone()}
+	for j := 0; j < d; j++ {
+		b.L[j], b.U[j] = p.Bounds(j)
+	}
+	return b
+}
+
+// TestDensestCellCachedMatchesNaivePerPass steps the restart loop by
+// hand: on every pass and every level, the cached skip-scan must return
+// the same cell (by pointer), path, and mask value as the naive argmax
+// re-scan — including after Used flags flip and β-clusters join the
+// overlap set. This is the per-pass pin the end-to-end equivalence
+// suite cannot give (it only sees final results).
+func TestDensestCellCachedMatchesNaivePerPass(t *testing.T) {
+	for _, full := range []bool{false, true} {
+		name := "face"
+		if full {
+			name = "full"
+		}
+		t.Run(name, func(t *testing.T) {
+			tr, _ := scanPairTree(t, synthetic.Config{
+				Dims: 5, Points: 5000, Clusters: 3, NoiseFrac: 0.15,
+				MinClusterDim: 3, MaxClusterDim: 5, Seed: 210,
+			}, 5)
+			naive, cached := newScanPair(tr, full)
+			hits := 0
+			for pass := 0; pass < 40; pass++ {
+				progressed := false
+				for h := 2; h <= tr.H-1; h++ {
+					np, nc, nv := naive.densestCell(h)
+					cp, cc, cv := cached.densestCell(h)
+					if nc != cc {
+						t.Fatalf("pass %d level %d: winners differ: naive %v (%p), cached %v (%p)",
+							pass, h, np, nc, cp, cc)
+					}
+					if nc == nil {
+						continue
+					}
+					if np.Compare(cp) != 0 {
+						t.Fatalf("pass %d level %d: paths differ: naive %v, cached %v", pass, h, np, cp)
+					}
+					if nv != cv {
+						t.Fatalf("pass %d level %d: values differ at %v: naive %d, cached %d",
+							pass, h, np, nv, cv)
+					}
+					// Mark the shared winner used, exactly as
+					// findBetaClusters does after a scan.
+					nc.Used = true
+					progressed = true
+					hits++
+					// Every third hit also becomes a β-cluster in BOTH
+					// searchers, so the overlap-skip path diverges from
+					// the Used path and gets pinned too.
+					if hits%3 == 0 {
+						b := betaFromCell(tr, np)
+						naive.betas = append(naive.betas, b)
+						cached.betas = append(cached.betas, b)
+					}
+				}
+				if !progressed {
+					break
+				}
+			}
+			if hits < 5 {
+				t.Fatalf("only %d scan winners exercised; per-pass pin is too weak", hits)
+			}
+		})
+	}
+}
+
+// TestDensestCellAllBetaOverlapped is the every-cell-β-overlapped edge
+// case: a β-cluster spanning [0,1]^d makes every cell ineligible, and
+// both scans must report an empty level identically.
+func TestDensestCellAllBetaOverlapped(t *testing.T) {
+	tr, _ := scanPairTree(t, synthetic.Config{
+		Dims: 4, Points: 2000, Clusters: 2, NoiseFrac: 0.1,
+		MinClusterDim: 2, MaxClusterDim: 4, Seed: 211,
+	}, 4)
+	naive, cached := newScanPair(tr, false)
+	cube := BetaCluster{L: make([]float64, tr.D), U: make([]float64, tr.D)}
+	for j := range cube.U {
+		cube.U[j] = 1
+	}
+	naive.betas = append(naive.betas, cube)
+	cached.betas = append(cached.betas, cube)
+	for h := 2; h <= tr.H-1; h++ {
+		if _, nc, _ := naive.densestCell(h); nc != nil {
+			t.Fatalf("level %d: naive scan found %p despite full-cube β-overlap", h, nc)
+		}
+		if _, cc, _ := cached.densestCell(h); cc != nil {
+			t.Fatalf("level %d: cached scan found %p despite full-cube β-overlap", h, cc)
+		}
+	}
+}
+
+// TestDensestCellSingleCellLevel pins both scans on a level of exactly
+// one cell: the lone cell must win, then — once Used — the level must
+// come back empty from both.
+func TestDensestCellSingleCellLevel(t *testing.T) {
+	ds := &dataset.Dataset{Dims: 3}
+	for i := 0; i < 200; i++ {
+		ds.Points = append(ds.Points, []float64{0.001, 0.002, 0.003})
+	}
+	tr, err := ctree.Build(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, cached := newScanPair(tr, false)
+	for h := 2; h <= tr.H-1; h++ {
+		if n := tr.LevelCellCount(h); n != 1 {
+			t.Fatalf("level %d stores %d cells, want 1", h, n)
+		}
+		np, nc, nv := naive.densestCell(h)
+		cp, cc, cv := cached.densestCell(h)
+		if nc == nil || nc != cc || np.Compare(cp) != 0 || nv != cv {
+			t.Fatalf("level %d: single-cell winners differ: naive (%v,%p,%d), cached (%v,%p,%d)",
+				h, np, nc, nv, cp, cc, cv)
+		}
+		nc.Used = true
+		if _, nc2, _ := naive.densestCell(h); nc2 != nil {
+			t.Fatalf("level %d: naive scan re-found the used lone cell", h)
+		}
+		if _, cc2, _ := cached.densestCell(h); cc2 != nil {
+			t.Fatalf("level %d: cached scan re-found the used lone cell", h)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// One-shot convolution cache for the β-search (phase two).
+//
+// Mask values are pure functions of the immutable Counting-tree: the
+// restart loop of Algorithm 2 mutates only the Used flags and the
+// β-cluster overlap set, never a cell count. So instead of
+// re-convolving every cell of every level on every restart pass (the
+// naive scan, kept behind Config.NaiveScan for the equivalence suite
+// and the phase-two benchmark), the searcher computes each level's
+// values ONCE into a flat slab — fanned out across Config.Workers,
+// trivially deterministic since the values do not depend on evaluation
+// order — sorts the entries once under the scan's existing total order
+// (value descending, lexicographic path ascending), and turns every
+// subsequent densestCell call into an eligibility skip-scan: walk the
+// cached order and return the first entry that is neither Used nor
+// β-overlapping. Because the cached order IS the argmax order, the
+// first eligible entry is exactly the cell the naive scan would pick,
+// so the serial-equivalence guarantee survives unchanged (pinned by
+// internal/core/scan_equiv_test.go).
+//
+// Restart passes drop from O(cells · d) re-convolution to O(skips)
+// eligibility checks, and the overlap check reads the level index's
+// precomputed bounds instead of re-deriving Path.Bounds (O(d·h)) per
+// cell per pass.
+package core
+
+import (
+	"sort"
+
+	"mrcc/internal/conv"
+	"mrcc/internal/ctree"
+)
+
+// levelScan is one level's cached, ordered convolution snapshot.
+type levelScan struct {
+	ix    *ctree.LevelIndex
+	vals  []int64 // mask value per index entry
+	order []int32 // entry indices, (value desc, path asc) order
+}
+
+// levelScan returns the cached snapshot for level h, building it on
+// first use.
+func (s *searcher) levelScan(h int) *levelScan {
+	if s.scans == nil {
+		s.scans = make([]*levelScan, s.tree.H)
+	}
+	if sc := s.scans[h]; sc != nil {
+		return sc
+	}
+	sc := s.buildLevelScan(h)
+	s.scans[h] = sc
+	return sc
+}
+
+// buildLevelScan computes level h's mask values (in parallel for
+// Workers > 1; values are pure integer sums, so any chunking and merge
+// order yields the same slab) and the total-order permutation over
+// them. The face mask uses the symmetric scatter pass — one index
+// probe per stored adjacency instead of two (conv.FaceValuesChunk) —
+// with per-worker slabs summed after the fan-out; the full 3^d mask
+// keeps the per-entry walk.
+func (s *searcher) buildLevelScan(h int) *levelScan {
+	ix := s.tree.LevelIndex(h)
+	n := ix.Len()
+	vals := make([]int64, n)
+	parallel := s.workers > 1 && n >= minParallelCells
+	switch {
+	case s.cfg.FullMask:
+		compute := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				vals[i] = conv.FullValue(s.tree, ix.PathOf(i), ix.Cell(i))
+			}
+		}
+		if parallel {
+			parallelRanges(n, s.workers, compute)
+		} else {
+			compute(0, n)
+		}
+	case parallel:
+		workers := s.workers
+		if workers > n {
+			workers = n
+		}
+		slabs := make([][]int64, workers)
+		lookups := make([]int64, workers)
+		parallelRangesIndexed(n, workers, func(w, lo, hi int) {
+			slab := make([]int64, n)
+			lookups[w] = conv.FaceValuesChunk(ix, lo, hi, slab)
+			slabs[w] = slab
+		})
+		var total int64
+		for w, slab := range slabs {
+			if slab == nil {
+				continue
+			}
+			total += lookups[w]
+			for i, v := range slab {
+				vals[i] += v
+			}
+		}
+		s.col.AddIndexLookups(total)
+	default:
+		s.col.AddIndexLookups(conv.FaceValuesSerial(ix, vals))
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := int(order[a]), int(order[b])
+		if vals[ia] != vals[ib] {
+			return vals[ia] > vals[ib]
+		}
+		return ix.ComparePaths(ia, ib) < 0
+	})
+	s.col.AddValueCacheBuild(int64(n))
+	s.col.AddMaskEvals(int64(n))
+	return &levelScan{ix: ix, vals: vals, order: order}
+}
+
+// densestCellCached returns the first eligible entry of level h's
+// cached order — by construction the same (cell, value) the naive
+// per-pass argmax scan selects — or (nil, nil, 0) when every entry is
+// Used or β-overlapping.
+func (s *searcher) densestCellCached(h int) (ctree.Path, *ctree.Cell, int64) {
+	sc := s.levelScan(h)
+	var skips int64
+	for pos, idx := range sc.order {
+		c := sc.ix.Cell(int(idx))
+		if c.Used || s.overlapsBetaIndexed(sc.ix, int(idx)) {
+			skips++
+			continue
+		}
+		s.col.AddScanProbe(skips, int64(pos+1))
+		return sc.ix.PathOf(int(idx)), c, sc.vals[idx]
+	}
+	s.col.AddScanProbe(skips, int64(len(sc.order)))
+	return nil, nil, 0
+}
+
+// overlapsBetaIndexed reports whether index entry i overlaps any found
+// β-cluster in every axis, reading the precomputed bounds slab instead
+// of re-deriving Path.Bounds. The float arithmetic is bit-identical to
+// BetaCluster.SharesSpace over Path.Bounds (the index stores exactly
+// float64(coord)·side and (float64(coord)+1)·side).
+func (s *searcher) overlapsBetaIndexed(ix *ctree.LevelIndex, i int) bool {
+	d := s.tree.D
+	for bi := range s.betas {
+		b := &s.betas[bi]
+		overlap := true
+		for j := 0; j < d; j++ {
+			lo, hi := ix.Bounds(i, j)
+			if hi < b.L[j] || lo > b.U[j] {
+				overlap = false
+				break
+			}
+		}
+		if overlap {
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,7 @@ package ctree
 import (
 	"fmt"
 	"math"
+	"sync"
 	"unsafe"
 
 	"mrcc/internal/dataset"
@@ -97,6 +98,12 @@ type Tree struct {
 	Eta int
 	// Root holds the level-1 cells.
 	Root *Node
+
+	// idxMu guards the lazily built level indexes (levelindex.go);
+	// indexes[h-1] is the flat snapshot of level h, nil until
+	// EnsureLevelIndexes runs, invalidated by Insert and MergeFrom.
+	idxMu   sync.Mutex
+	indexes []*LevelIndex
 }
 
 // Build constructs the Counting-tree for a dataset normalized to
@@ -320,10 +327,11 @@ func (t *Tree) LevelCellCount(h int) int {
 }
 
 // MemoryBytes estimates the heap footprint of the tree: cells, half-space
-// arrays, child nodes and index maps. It is the figure the memory-usage
-// experiments report for MrCC.
+// arrays, child nodes and index maps, plus the flat level indexes when
+// they have been materialized (EnsureLevelIndexes). It is the figure
+// the memory-usage experiments report for MrCC.
 func (t *Tree) MemoryBytes() uint64 {
-	var total uint64
+	total := t.IndexMemoryBytes()
 	var visit func(nd *Node)
 	visit = func(nd *Node) {
 		if nd == nil {

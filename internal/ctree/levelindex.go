@@ -1,0 +1,340 @@
+// Level indexes: flat, immutable snapshots of the Counting-tree's
+// levels that turn the β-search's neighbor/parent resolution from
+// root-to-leaf map descents (Tree.CellAt, O(h) map hops per lookup)
+// into a single probe of a coordinate-keyed open-addressing table, and
+// precompute the per-axis cell bounds the overlap checks would
+// otherwise re-derive from the path (O(d·h)) on every scan pass.
+//
+// One tree walk builds the indexes for every stored level at once
+// (Tree.EnsureLevelIndexes); the snapshots stay valid for as long as
+// the tree's cell set does not change — Insert and MergeFrom
+// invalidate them. Mutating the tree concurrently with index access is
+// not supported (the pipeline never does: indexes are built before the
+// scan workers fan out, and scan workers only read).
+package ctree
+
+import (
+	"unsafe"
+)
+
+// LevelIndex is the flat snapshot of one tree level: one slab of
+// entries in the level's deterministic first-touch walk order, with the
+// full root path, packed per-axis grid coordinates, precomputed bounds
+// and the parent cell of every entry, plus a coordinate-keyed flat hash
+// over the paths for O(1)-ish cell resolution.
+type LevelIndex struct {
+	// Level is the tree level the index covers (1 <= Level <= H-1).
+	Level int
+
+	d int
+	n int
+
+	// Slabs, entry i occupying [i*width, (i+1)*width):
+	paths   []uint64  // width Level: the cell's root path words
+	coords  []uint64  // width d: grid coordinate per axis at this level
+	lo, hi  []float64 // width d: per-axis cell bounds (== Path.Bounds)
+	cells   []*Cell   // the stored cell
+	parents []*Cell   // the level-(Level-1) parent cell; nil at level 1
+
+	// Open-addressing hash over the path slab: table[k] is an entry
+	// index or -1 when empty; mask is len(table)-1 (a power of two).
+	table []int32
+	mask  uint64
+}
+
+// Len returns the number of stored cells at the level.
+func (ix *LevelIndex) Len() int { return ix.n }
+
+// Dims returns the dataset dimensionality.
+func (ix *LevelIndex) Dims() int { return ix.d }
+
+// Cell returns entry i's stored cell.
+func (ix *LevelIndex) Cell(i int) *Cell { return ix.cells[i] }
+
+// Parent returns entry i's parent cell (nil for level-1 entries).
+func (ix *LevelIndex) Parent(i int) *Cell { return ix.parents[i] }
+
+// PathOf returns entry i's root path as a view into the index's slab.
+// The view is immutable and stable for the lifetime of the index;
+// callers must not modify it.
+func (ix *LevelIndex) PathOf(i int) Path {
+	h := ix.Level
+	return Path(ix.paths[i*h : (i+1)*h : (i+1)*h])
+}
+
+// Coord returns entry i's integer grid coordinate along axis j,
+// identical to PathOf(i).Coord(j) but O(1).
+func (ix *LevelIndex) Coord(i, j int) uint64 { return ix.coords[i*ix.d+j] }
+
+// Bounds returns entry i's precomputed bounds along axis j, identical
+// to PathOf(i).Bounds(j) bit for bit.
+func (ix *LevelIndex) Bounds(i, j int) (lo, hi float64) {
+	k := i*ix.d + j
+	return ix.lo[k], ix.hi[k]
+}
+
+// ComparePaths orders entries a and b by their lexicographic path
+// order (the convolution scan's deterministic tie-break) without
+// materializing Path values.
+func (ix *LevelIndex) ComparePaths(a, b int) int {
+	h := ix.Level
+	pa := ix.paths[a*h : (a+1)*h]
+	pb := ix.paths[b*h : (b+1)*h]
+	for k := 0; k < h; k++ {
+		switch {
+		case pa[k] < pb[k]:
+			return -1
+		case pa[k] > pb[k]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// hashWords is FNV-1a over the path words, the key of the flat hash.
+func hashWords(words []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range words {
+		for b := 0; b < 64; b += 8 {
+			h ^= (w >> uint(b)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Lookup returns the entry index of the cell with the given root path,
+// or -1 when no such cell is stored. p must address this index's level.
+func (ix *LevelIndex) Lookup(p Path) int {
+	if len(p) != ix.Level {
+		return -1
+	}
+	h := ix.Level
+	slot := hashWords(p) & ix.mask
+	for {
+		e := ix.table[slot]
+		if e < 0 {
+			return -1
+		}
+		cand := ix.paths[int(e)*h : (int(e)+1)*h]
+		match := true
+		for k := 0; k < h; k++ {
+			if cand[k] != p[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return int(e)
+		}
+		slot = (slot + 1) & ix.mask
+	}
+}
+
+// NeighborLookup returns the entry index of entry i's face neighbor
+// along axis j (upper side when upper is true), or -1 when the
+// neighbor falls outside the unit cube or is not stored. buf is path
+// scratch (grown as needed) so hot loops allocate nothing per lookup.
+func (ix *LevelIndex) NeighborLookup(i, j int, upper bool, buf Path) (int, Path) {
+	h := ix.Level
+	c := ix.Coord(i, j)
+	if upper {
+		if c == (uint64(1)<<uint(h))-1 {
+			return -1, buf
+		}
+		c++
+	} else {
+		if c == 0 {
+			return -1, buf
+		}
+		c--
+	}
+	out := append(buf[:0], ix.paths[i*h:(i+1)*h]...)
+	mask := uint64(1) << uint(j)
+	for l := 0; l < h; l++ {
+		if (c>>uint(h-1-l))&1 == 1 {
+			out[l] |= mask
+		} else {
+			out[l] &^= mask
+		}
+	}
+	return ix.Lookup(out), out
+}
+
+// MemoryBytes estimates the heap footprint of the index: slabs, cell
+// and parent pointer slices, and the flat hash table.
+func (ix *LevelIndex) MemoryBytes() uint64 {
+	var total uint64
+	total += uint64(unsafe.Sizeof(*ix))
+	total += uint64(cap(ix.paths)) * 8
+	total += uint64(cap(ix.coords)) * 8
+	total += uint64(cap(ix.lo)) * 8
+	total += uint64(cap(ix.hi)) * 8
+	total += uint64(cap(ix.cells)) * uint64(unsafe.Sizeof((*Cell)(nil)))
+	total += uint64(cap(ix.parents)) * uint64(unsafe.Sizeof((*Cell)(nil)))
+	total += uint64(cap(ix.table)) * 4
+	return total
+}
+
+// tableSize returns the power-of-two open-addressing table size for n
+// entries (load factor <= 0.5).
+func tableSize(n int) uint64 {
+	size := uint64(8)
+	for size < uint64(n)*2 {
+		size <<= 1
+	}
+	return size
+}
+
+// EnsureLevelIndexes materializes the level indexes for every stored
+// level (1..H-1) in one tree walk and returns them (indexes[h-1] is
+// level h). The call is idempotent and cheap after the first build;
+// Insert and MergeFrom invalidate the cache. Concurrent calls are
+// safe; calling concurrently with tree mutation is not.
+func (t *Tree) EnsureLevelIndexes() []*LevelIndex {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.indexes != nil {
+		return t.indexes
+	}
+	counts := t.levelCellCountsWalk()
+	d := t.D
+	idxs := make([]*LevelIndex, t.H-1)
+	for h := 1; h <= t.H-1; h++ {
+		n := counts[h]
+		idxs[h-1] = &LevelIndex{
+			Level:   h,
+			d:       d,
+			paths:   make([]uint64, 0, n*h),
+			coords:  make([]uint64, 0, n*d),
+			lo:      make([]float64, 0, n*d),
+			hi:      make([]float64, 0, n*d),
+			cells:   make([]*Cell, 0, n),
+			parents: make([]*Cell, 0, n),
+		}
+	}
+	// One DFS fills every level: path words and per-axis grid
+	// coordinates are carried down the recursion (coords frame l lives
+	// at coordScratch[l*d:(l+1)*d]), so each entry costs O(d) on top of
+	// the walk itself.
+	pathScratch := make([]uint64, t.H-1)
+	coordScratch := make([]uint64, t.H*d)
+	var walk func(nd *Node, parent *Cell, depth int)
+	walk = func(nd *Node, parent *Cell, depth int) {
+		if nd == nil {
+			return
+		}
+		h := depth + 1 // level of the cells in nd
+		side := SideLen(h)
+		prev := coordScratch[depth*d : (depth+1)*d]
+		cur := coordScratch[h*d : (h+1)*d]
+		for _, c := range nd.Cells {
+			pathScratch[depth] = c.Loc
+			for j := 0; j < d; j++ {
+				cur[j] = prev[j] << 1
+				if c.Loc&(1<<uint(j)) != 0 {
+					cur[j] |= 1
+				}
+			}
+			ix := idxs[h-1]
+			ix.paths = append(ix.paths, pathScratch[:h]...)
+			ix.coords = append(ix.coords, cur...)
+			for j := 0; j < d; j++ {
+				// Matches Path.Bounds bit for bit: float64(coord)*side
+				// and (float64(coord)+1)*side.
+				fc := float64(cur[j])
+				ix.lo = append(ix.lo, fc*side)
+				ix.hi = append(ix.hi, (fc+1)*side)
+			}
+			ix.cells = append(ix.cells, c)
+			ix.parents = append(ix.parents, parent)
+			walk(c.Children, c, h)
+		}
+	}
+	walk(t.Root, nil, 0)
+	for _, ix := range idxs {
+		ix.n = len(ix.cells)
+		size := tableSize(ix.n)
+		ix.mask = size - 1
+		ix.table = make([]int32, size)
+		for k := range ix.table {
+			ix.table[k] = -1
+		}
+		h := ix.Level
+		for i := 0; i < ix.n; i++ {
+			slot := hashWords(ix.paths[i*h:(i+1)*h]) & ix.mask
+			for ix.table[slot] >= 0 {
+				slot = (slot + 1) & ix.mask
+			}
+			ix.table[slot] = int32(i)
+		}
+	}
+	t.indexes = idxs
+	return idxs
+}
+
+// LevelIndex returns the flat index of level h (building all level
+// indexes on first use), or nil when h is outside the stored levels.
+func (t *Tree) LevelIndex(h int) *LevelIndex {
+	if h < 1 || h > t.H-1 {
+		return nil
+	}
+	return t.EnsureLevelIndexes()[h-1]
+}
+
+// invalidateIndexes drops the materialized level indexes after a
+// mutation of the tree's cell set. Mutation never races index access
+// (see the package comment above), so a plain check suffices and the
+// per-insert cost is one nil comparison.
+func (t *Tree) invalidateIndexes() {
+	if t.indexes != nil {
+		t.indexes = nil
+	}
+}
+
+// LevelCellCounts returns the number of stored cells per level in ONE
+// tree walk: counts[h] is level h's cell count (index 0 unused, length
+// H). Callers that previously looped LevelCellCount over the levels
+// paid O(H · cells); this is O(cells).
+func (t *Tree) LevelCellCounts() []int {
+	t.idxMu.Lock()
+	if t.indexes != nil {
+		counts := make([]int, t.H)
+		for _, ix := range t.indexes {
+			counts[ix.Level] = ix.n
+		}
+		t.idxMu.Unlock()
+		return counts
+	}
+	t.idxMu.Unlock()
+	return t.levelCellCountsWalk()
+}
+
+// levelCellCountsWalk counts every level's stored cells in one DFS.
+func (t *Tree) levelCellCountsWalk() []int {
+	counts := make([]int, t.H)
+	var walk func(nd *Node, depth int)
+	walk = func(nd *Node, depth int) {
+		if nd == nil {
+			return
+		}
+		counts[depth+1] += len(nd.Cells)
+		for _, c := range nd.Cells {
+			walk(c.Children, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return counts
+}
+
+// IndexMemoryBytes returns the footprint of the materialized level
+// indexes, or 0 when none are built.
+func (t *Tree) IndexMemoryBytes() uint64 {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	var total uint64
+	for _, ix := range t.indexes {
+		total += ix.MemoryBytes()
+	}
+	return total
+}

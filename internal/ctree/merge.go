@@ -23,6 +23,7 @@ func (t *Tree) Insert(p []float64) error {
 	if t.Eta >= MaxPoints {
 		return fmt.Errorf("ctree: tree already counts %d points, the int32 cell-counter maximum (MaxPoints); shard larger datasets into separate trees", t.Eta)
 	}
+	t.invalidateIndexes()
 	node := t.Root
 	var prev *Cell
 	for h := 1; h <= t.H-1; h++ {
@@ -80,6 +81,7 @@ func (t *Tree) MergeFrom(other *Tree) error {
 		return fmt.Errorf("ctree: merging %d + %d points exceeds the int32 cell-counter maximum %d (MaxPoints); shard into separate trees",
 			t.Eta, other.Eta, int64(MaxPoints))
 	}
+	t.invalidateIndexes()
 	mergeNodes(t.Root, other.Root, t.D)
 	t.Eta += other.Eta
 	return nil

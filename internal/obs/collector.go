@@ -18,10 +18,13 @@ type Collector struct {
 	stats    Stats
 
 	// Hot counters: merged per worker chunk with one atomic add each.
-	maskEvals atomic.Int64
-	labeled   atomic.Int64
-	noise     atomic.Int64
-	buildDone atomic.Int64
+	maskEvals    atomic.Int64
+	labeled      atomic.Int64
+	noise        atomic.Int64
+	buildDone    atomic.Int64
+	indexLookups atomic.Int64
+	skips        atomic.Int64
+	scanDepth    atomic.Int64
 }
 
 // New returns a collector with an optional progress callback (nil for
@@ -231,6 +234,39 @@ func (c *Collector) MaskEvals() int64 {
 	return c.maskEvals.Load()
 }
 
+// AddValueCacheBuild counts one per-level one-shot convolution-value
+// cache build of n entries (cold path: once per level per run).
+func (c *Collector) AddValueCacheBuild(entries int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Counters.ValueCacheBuilds++
+	c.stats.Counters.ValueCacheEntries += entries
+	c.mu.Unlock()
+}
+
+// AddScanProbe merges one cached scan's eligibility outcome: skips
+// entries were ineligible (Used or β-overlapping) and depth entries
+// were examined before the early exit (or the whole order when no
+// eligible cell remained). One call per scan invocation.
+func (c *Collector) AddScanProbe(skips, depth int64) {
+	if c == nil {
+		return
+	}
+	c.skips.Add(skips)
+	c.scanDepth.Add(depth)
+}
+
+// AddIndexLookups merges one worker chunk's count of level-index
+// neighbor/cell resolutions (single atomic add per chunk).
+func (c *Collector) AddIndexLookups(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.indexLookups.Add(n)
+}
+
 // AddLabeled merges one labeling chunk's (labeled, noise) counts and
 // returns the cumulative number of points processed, which doubles as
 // the labeling progress numerator.
@@ -260,6 +296,9 @@ func (c *Collector) Finish() *Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Counters.MaskEvals = c.maskEvals.Load()
+	c.stats.Counters.IndexLookups = c.indexLookups.Load()
+	c.stats.Counters.EligibilitySkips = c.skips.Load()
+	c.stats.Counters.ScanDepth = c.scanDepth.Load()
 	total := c.labeled.Load()
 	noise := c.noise.Load()
 	c.stats.Counters.NoisePoints = noise

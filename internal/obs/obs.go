@@ -118,11 +118,28 @@ type Counters struct {
 	// CellsPerLevel[h] is the number of stored Counting-tree cells at
 	// level h (index 0 is unused; levels run 1..H-1).
 	CellsPerLevel []int64 `json:"cellsPerLevel,omitempty"`
-	// MaskEvals counts convolution-mask applications (one per eligible
-	// cell per scan pass) — the unit of the paper's O(d)-per-cell claim.
+	// MaskEvals counts convolution-mask applications — the unit of the
+	// paper's O(d)-per-cell claim. With the one-shot value cache this is
+	// one per stored cell per level touched by the search (the cache
+	// build); the naive per-pass scan pays one per eligible cell per
+	// pass instead.
 	MaskEvals int64 `json:"maskEvals"`
 	// ScanPasses counts iterations of Algorithm 2's outer restart loop.
 	ScanPasses int64 `json:"scanPasses"`
+	// ValueCacheBuilds counts per-level one-shot convolution-value cache
+	// builds; ValueCacheEntries is the total number of cached values
+	// (== MaskEvals in cached mode).
+	ValueCacheBuilds  int64 `json:"valueCacheBuilds"`
+	ValueCacheEntries int64 `json:"valueCacheEntries"`
+	// EligibilitySkips counts cached-order entries skipped because they
+	// were Used or β-overlapping; ScanDepth is the cumulative number of
+	// entries examined before each scan's early exit (skips + winner),
+	// so ScanDepth/ (scan invocations) is the mean early-exit depth.
+	EligibilitySkips int64 `json:"eligibilitySkips"`
+	ScanDepth        int64 `json:"scanDepth"`
+	// IndexLookups counts neighbor/cell resolutions served by the flat
+	// level indexes (coordinate-hash probes) in the scan hot path.
+	IndexLookups int64 `json:"indexLookups"`
 	// BetaTests / BetaAccepted / BetaRejected count the statistical
 	// tests attempted and their outcomes.
 	BetaTests    int64 `json:"betaTests"`
@@ -245,6 +262,10 @@ func (s *Stats) Format() string {
 	}
 	fmt.Fprintf(&b, "mask evals: %d in %d passes; β-tests: %d (%d accepted, %d rejected)\n",
 		c.MaskEvals, c.ScanPasses, c.BetaTests, c.BetaAccepted, c.BetaRejected)
+	if c.ValueCacheBuilds > 0 {
+		fmt.Fprintf(&b, "scan cache: %d level builds (%d values, %d index lookups); %d eligibility skips, scan depth %d\n",
+			c.ValueCacheBuilds, c.ValueCacheEntries, c.IndexLookups, c.EligibilitySkips, c.ScanDepth)
+	}
 	fmt.Fprintf(&b, "critical-value cache: %d hits, %d misses\n",
 		c.CritCacheHits, c.CritCacheMisses)
 	fmt.Fprintf(&b, "β-clusters: %d merged into %d clusters (%d merges); labeled %d, noise %d\n",
