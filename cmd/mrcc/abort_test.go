@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// cliCtx is cli with a caller-supplied context, for driving the
+// cancellation and timeout paths end to end.
+func cliCtx(t *testing.T, ctx context.Context, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := realMainCtx(ctx, args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestRunCancelledReportsPhase pins the signal path: a cancelled
+// context (what SIGINT produces via signal.NotifyContext) exits 1 and
+// names the interrupted phase on stderr instead of dumping a raw
+// error chain.
+func TestRunCancelledReportsPhase(t *testing.T) {
+	in := writeTestCSV(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, stdout, stderr := cliCtx(t, ctx, "-in", in)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "interrupted during the") {
+		t.Errorf("stderr does not name the interruption:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "phase") {
+		t.Errorf("stderr does not name the phase:\n%s", stderr)
+	}
+	if stdout != "" {
+		t.Errorf("aborted run wrote to stdout:\n%s", stdout)
+	}
+}
+
+// TestRunCancelledWithStatsPrintsPartialTable proves -stats still
+// pays off on an aborted run: the partial per-phase table lands on
+// stderr so an operator sees where the time went.
+func TestRunCancelledWithStatsPrintsPartialTable(t *testing.T) {
+	in := writeTestCSV(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, stderr := cliCtx(t, ctx, "-in", in, "-stats")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "phase") || !strings.Contains(stderr, "ABORTED") {
+		t.Errorf("partial stats table missing from stderr:\n%s", stderr)
+	}
+}
+
+// TestRunTimeoutReportsPhase pins -timeout: an expired deadline exits
+// 1 and is reported as a timeout, not a generic interruption.
+func TestRunTimeoutReportsPhase(t *testing.T) {
+	in := writeTestCSV(t)
+	code, _, stderr := cli(t, "-in", in, "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "timeout during the") {
+		t.Errorf("stderr does not report the timeout:\n%s", stderr)
+	}
+}
+
+// TestRunMemLimitFails pins -memlimit without -degrade: an impossible
+// budget is a runtime error (exit 1) that names the budget.
+func TestRunMemLimitFails(t *testing.T) {
+	in := writeTestCSV(t)
+	code, _, stderr := cli(t, "-in", in, "-memlimit", "4096")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "memory limit") {
+		t.Errorf("stderr does not explain the memory limit:\n%s", stderr)
+	}
+}
+
+// TestRunDegradeSucceeds proves -memlimit with -degrade and a budget
+// that admits a smaller H still completes with exit 0.
+func TestRunDegradeSucceeds(t *testing.T) {
+	in := writeTestCSV(t)
+	code, stdout, stderr := cli(t, "-in", in, "-H", "5", "-memlimit", "33554432", "-degrade")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "correlation clusters") {
+		t.Errorf("degraded run produced no summary:\n%s", stdout)
+	}
+}
+
+// TestRobustFlagValidation extends the flag matrix with the new
+// robustness flags: impossible combinations exit 2 before any work.
+func TestRobustFlagValidation(t *testing.T) {
+	in := writeTestCSV(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative timeout", []string{"-in", in, "-timeout", "-1s"}},
+		{"degrade without memlimit", []string{"-in", in, "-degrade"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := cli(t, c.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr)
+			}
+		})
+	}
+}

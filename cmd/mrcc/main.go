@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mrcc -in data.csv [-header] [-alpha 1e-10] [-H 4] [-workers 0]
+//	     [-timeout 0] [-memlimit 0] [-degrade]
 //	     [-out labels.csv] [-json] [-stats]
 //	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -13,19 +14,31 @@
 // cached values, index lookups, eligibility skips, scan depth — see
 // DESIGN.md §7); -json emits the same record machine-readably.
 //
+// SIGINT/SIGTERM cancel the run cooperatively: the pipeline stops
+// within one chunk of work, the command reports the phase it reached
+// (with the partial -stats table, when enabled) and exits non-zero. A
+// second signal kills the process via Go's default handling.
+// -timeout bounds the run's wall time the same way; -memlimit caps the
+// Counting-tree footprint (with -degrade retrying at smaller H).
+//
 // Exit status is 0 on success, 1 on runtime errors (unreadable input,
-// clustering failure, write errors) and 2 on invalid flags.
+// clustering failure, interruption, write errors) and 2 on invalid
+// flags.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"syscall"
 	"time"
 
 	"mrcc"
@@ -39,6 +52,9 @@ type options struct {
 	alpha      float64
 	h          int
 	workers    int
+	timeout    time.Duration
+	memLimit   uint64
+	degrade    bool
 	out        string
 	asJSON     bool
 	stats      bool
@@ -47,12 +63,24 @@ type options struct {
 }
 
 func main() {
-	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the pipeline cooperatively; signal.NotifyContext
+	// restores the default handler after the first signal, so a second
+	// one force-kills a run stuck outside the pipeline (e.g. in I/O).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMainCtx(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// realMain is main with its dependencies injected so tests can drive
-// the full flag-parsing and validation path and observe the exit code.
+// realMain is realMainCtx without cancellation, kept for tests that
+// drive the flag-parsing and validation path.
 func realMain(args []string, stdout, stderr io.Writer) int {
+	return realMainCtx(context.Background(), args, stdout, stderr)
+}
+
+// realMainCtx is main with its dependencies injected so tests can
+// drive the full flag-parsing, validation and cancellation paths and
+// observe the exit code.
+func realMainCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mrcc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var opt options
@@ -61,6 +89,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&opt.alpha, "alpha", mrcc.DefaultAlpha, "statistical significance level α, in (0, 1)")
 	fs.IntVar(&opt.h, "H", mrcc.DefaultH, "number of Counting-tree resolutions (>= 3)")
 	fs.IntVar(&opt.workers, "workers", 0, "parallel workers for the pipeline (0 = all CPUs, 1 = serial)")
+	fs.DurationVar(&opt.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
+	fs.Uint64Var(&opt.memLimit, "memlimit", 0, "Counting-tree memory budget in bytes (0 = no limit)")
+	fs.BoolVar(&opt.degrade, "degrade", false, "with -memlimit, retry at smaller H instead of failing")
 	fs.StringVar(&opt.out, "out", "", "write per-point labels to this CSV file")
 	fs.BoolVar(&opt.asJSON, "json", false, "print the result summary as JSON")
 	fs.BoolVar(&opt.stats, "stats", false, "collect and print per-phase timings, counters and memory deltas")
@@ -74,11 +105,34 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if err := run(opt, stdout); err != nil {
-		fmt.Fprintln(stderr, "mrcc:", err)
+	if err := run(ctx, opt, stdout); err != nil {
+		var pe *mrcc.PipelineError
+		if errors.As(err, &pe) {
+			reportAbort(stderr, pe)
+		} else {
+			fmt.Fprintln(stderr, "mrcc:", err)
+		}
 		return 1
 	}
 	return 0
+}
+
+// reportAbort explains an interrupted run: the cause, the phase the
+// pipeline reached, and (when -stats collected them) the partial
+// per-phase table, so an operator sees where the time went before the
+// abort.
+func reportAbort(stderr io.Writer, pe *mrcc.PipelineError) {
+	switch {
+	case errors.Is(pe, context.Canceled):
+		fmt.Fprintf(stderr, "mrcc: interrupted during the %s phase\n", pe.Phase)
+	case errors.Is(pe, context.DeadlineExceeded):
+		fmt.Fprintf(stderr, "mrcc: timeout during the %s phase\n", pe.Phase)
+	default:
+		fmt.Fprintln(stderr, "mrcc:", pe)
+	}
+	if pe.Stats != nil {
+		fmt.Fprint(stderr, pe.Stats.Format())
+	}
 }
 
 // validate rejects impossible configurations before any work happens,
@@ -97,10 +151,21 @@ func (o *options) validate() error {
 	if o.workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", o.workers)
 	}
+	if o.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", o.timeout)
+	}
+	if o.degrade && o.memLimit == 0 {
+		return fmt.Errorf("-degrade requires -memlimit")
+	}
 	return nil
 }
 
-func run(opt options, stdout io.Writer) error {
+func run(ctx context.Context, opt options, stdout io.Writer) error {
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
 	ds, err := dataset.LoadCSVFile(opt.in, opt.header)
 	if err != nil {
 		return err
@@ -117,9 +182,11 @@ func run(opt options, stdout io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 	start := time.Now()
-	res, err := mrcc.RunDataset(ds, mrcc.Config{
+	res, err := mrcc.RunDatasetContext(ctx, ds, mrcc.Config{
 		Alpha: opt.alpha, H: opt.h, Workers: opt.workers,
-		CollectStats: opt.stats,
+		CollectStats:         opt.stats,
+		MemoryLimitBytes:     opt.memLimit,
+		DegradeOnMemoryLimit: opt.degrade,
 	})
 	if err != nil {
 		return err

@@ -5,6 +5,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -14,8 +16,10 @@ import (
 	"mrcc/internal/conv"
 	"mrcc/internal/ctree"
 	"mrcc/internal/dataset"
+	"mrcc/internal/fault"
 	"mrcc/internal/mdl"
 	"mrcc/internal/obs"
+	"mrcc/internal/panics"
 	"mrcc/internal/stats"
 )
 
@@ -88,6 +92,22 @@ type Config struct {
 	// it is safe with Workers > 1; it must return quickly and must not
 	// call back into the running pipeline.
 	Progress obs.ProgressFunc
+	// MemoryLimitBytes caps the estimated footprint of the Counting-tree
+	// plus its flat level indexes — the pipeline's dominant memory
+	// consumer. 0 means unlimited. The limit is enforced both during the
+	// build (cheap monotone estimate, polled at chunk boundaries) and
+	// after index construction (exact accounting); a refused run returns
+	// a *ResourceError. The decision is deterministic for a fixed
+	// (dataset, Config): shards abort only on their own monotone
+	// estimates, never on a peer's timing (DESIGN.md §8).
+	MemoryLimitBytes uint64
+	// DegradeOnMemoryLimit, with MemoryLimitBytes set, retries a refused
+	// build at H-1, H-2, … down to ctree.MinLevels instead of failing.
+	// The fallback is deterministic — the run behaves exactly like one
+	// configured with the reduced H — and the reduced resolution count
+	// is recorded in Stats.DegradedH. Only when the smallest H still
+	// exceeds the limit does the run return a *ResourceError.
+	DegradeOnMemoryLimit bool
 }
 
 // wantsStats reports whether the run needs a collector at all.
@@ -215,18 +235,44 @@ type Timings struct {
 func (r *Result) NumClusters() int { return len(r.Clusters) }
 
 // Run executes the full MrCC pipeline over a dataset normalized to
-// [0,1)^d. Use dataset.Normalize first for raw data.
+// [0,1)^d. Use dataset.Normalize first for raw data. It is exactly
+// RunContext with a background context.
 //
 // With Config.Workers != 1 the Counting-tree is built from merged
 // per-goroutine shards (ctree.BuildParallel) and the convolution scan
 // and point labeling fan out too; the result is bit-identical to the
 // serial run for every worker count.
 func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), ds, cfg)
+}
+
+// RunContext is Run under a context: every phase — the chunked tree
+// build, each β-search scan pass, the cluster merge, and range-parallel
+// labeling — polls ctx at chunk boundaries, so cancellation or deadline
+// expiry aborts the run within one chunk of work. An aborted run
+// returns a *PipelineError naming the interrupted phase and carrying
+// the partial Stats; ctx == context.Background() adds no observable
+// overhead. A panic inside any worker goroutine or pipeline phase is
+// recovered and surfaces the same way (a *PipelineError wrapping a
+// *panics.Error) instead of crashing the host.
+func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	col := newCollector(cfg)
+	phase := obs.PhaseTreeBuild
+	defer func() {
+		if r := recover(); r != nil {
+			err = panics.New(r)
+		}
+		if err != nil && isAbort(err) {
+			col.SetAborted(phase)
+			res = nil
+			err = &PipelineError{Phase: phase.String(), Err: err, Stats: col.Finish()}
+		}
+	}()
+	ab := newAborter(ctx)
 	var buildProgress ctree.ProgressFunc
 	if col.WantsProgress() {
 		buildProgress = func(done, total int) {
@@ -235,13 +281,17 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	}
 	start := time.Now()
 	sp := col.Start(obs.PhaseTreeBuild)
-	t, err := ctree.BuildParallelProgress(ds, cfg.H, cfg.workerCount(), buildProgress)
+	t, cfgH, err := buildTreeBounded(ctx, ds, cfg, buildProgress)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, ab.fail(err)
+	}
+	if cfgH != cfg.H {
+		cfg.H = cfgH
+		col.SetDegradedH(cfgH)
 	}
 	buildTime := time.Since(start)
-	res, err := runOnTree(t, ds, cfg, col)
+	res, phase, err = runOnTreeAbortable(t, ds, cfg, col, ab)
 	if err != nil {
 		return nil, err
 	}
@@ -249,16 +299,101 @@ func Run(ds *dataset.Dataset, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// buildTreeBounded builds the Counting-tree under cfg's context,
+// memory limit, and degradation policy. It returns the tree and the
+// resolution count actually used (smaller than cfg.H only under
+// DegradeOnMemoryLimit).
+//
+// The authoritative limit check happens here, after the flat level
+// indexes are materialized, against max(exact accounting, monotone
+// build estimate): the exact walk is what the run really holds, the
+// estimate keeps the decision consistent with what the build itself
+// would have refused. A refused footprint degrades to H-1 when allowed
+// — the retry builds a fresh tree, so the result is identical to a run
+// configured with the smaller H from the start — and otherwise becomes
+// a *ResourceError.
+func buildTreeBounded(ctx context.Context, ds *dataset.Dataset, cfg Config, progress ctree.ProgressFunc) (*ctree.Tree, int, error) {
+	h := cfg.H
+	for {
+		t, err := ctree.BuildParallelOpts(ds, h, ctree.BuildOptions{
+			Workers:          cfg.workerCount(),
+			Progress:         progress,
+			Ctx:              ctx,
+			MemoryLimitBytes: cfg.MemoryLimitBytes,
+		})
+		var le *ctree.LimitError
+		if errors.As(err, &le) {
+			if cfg.DegradeOnMemoryLimit && h > ctree.MinLevels {
+				h--
+				continue
+			}
+			return nil, 0, &ResourceError{
+				LimitBytes:    le.LimitBytes,
+				EstimateBytes: le.EstimateBytes,
+				H:             le.H,
+				Degraded:      cfg.DegradeOnMemoryLimit,
+			}
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if cfg.MemoryLimitBytes > 0 {
+			// Materialize the level indexes now (the β-search would build
+			// them lazily anyway) so the authoritative check covers the
+			// run's true steady-state footprint.
+			t.EnsureLevelIndexes()
+			est := t.MemoryBytes() + t.IndexMemoryBytes()
+			if approx := t.ApproxMemoryBytes(); approx > est {
+				est = approx
+			}
+			if est > cfg.MemoryLimitBytes {
+				if cfg.DegradeOnMemoryLimit && h > ctree.MinLevels {
+					h--
+					continue
+				}
+				return nil, 0, &ResourceError{
+					LimitBytes:    cfg.MemoryLimitBytes,
+					EstimateBytes: est,
+					H:             h,
+					Degraded:      cfg.DegradeOnMemoryLimit,
+				}
+			}
+		}
+		return t, h, nil
+	}
+}
+
 // RunOnTree executes phases two and three over a pre-built Counting-tree
 // (the sensitivity experiments rebuild clusters under several α values
 // without re-scanning the data). The tree's usedCell flags are consumed;
 // call Tree.ResetUsed to reuse the tree.
 func RunOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunOnTreeContext(context.Background(), t, ds, cfg)
+}
+
+// RunOnTreeContext is RunOnTree under a context, with the same
+// cancellation, fault-injection and panic-containment behavior as
+// RunContext (the tree build and memory limit do not apply here — the
+// caller already owns the tree).
+func RunOnTreeContext(ctx context.Context, t *ctree.Tree, ds *dataset.Dataset, cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return runOnTree(t, ds, cfg, newCollector(cfg))
+	col := newCollector(cfg)
+	phase := obs.PhaseBetaSearch
+	defer func() {
+		if r := recover(); r != nil {
+			err = panics.New(r)
+		}
+		if err != nil && isAbort(err) {
+			col.SetAborted(phase)
+			res = nil
+			err = &PipelineError{Phase: phase.String(), Err: err, Stats: col.Finish()}
+		}
+	}()
+	res, phase, err = runOnTreeAbortable(t, ds, cfg, col, newAborter(ctx))
+	return res, err
 }
 
 // newCollector returns the run's stats collector, or nil (the no-op
@@ -270,12 +405,16 @@ func newCollector(cfg Config) *obs.Collector {
 	return obs.New(cfg.Progress)
 }
 
-// runOnTree is RunOnTree with the collector already decided, so Run can
-// share one collector between the tree build and the clustering phases.
-// cfg must already be defaulted and validated.
-func runOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs.Collector) (*Result, error) {
+// runOnTreeAbortable is the clustering back half (phases two and
+// three) with the collector and abort machinery already decided, so
+// RunContext can share one collector and aborter between the tree
+// build and the clustering phases. cfg must already be defaulted and
+// validated; ab may be nil (no cancellation, no fault points, zero
+// overhead — the RunOnTree-without-context path). The returned phase
+// names the stage an error interrupted.
+func runOnTreeAbortable(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs.Collector, ab *aborter) (*Result, obs.Phase, error) {
 	if t.D != ds.Dims || t.Eta != ds.Len() {
-		return nil, fmt.Errorf("core: tree (d=%d, η=%d) does not match dataset (d=%d, η=%d)",
+		return nil, obs.PhaseBetaSearch, fmt.Errorf("core: tree (d=%d, η=%d) does not match dataset (d=%d, η=%d)",
 			t.D, t.Eta, ds.Dims, ds.Len())
 	}
 	workers := cfg.workerCount()
@@ -289,21 +428,30 @@ func runOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs.Collecto
 			col.CountCells(h, int64(counts[h]))
 		}
 	}
-	s := &searcher{tree: t, cfg: cfg, workers: workers, col: col, critCache: make(map[int]int)}
+	s := &searcher{tree: t, cfg: cfg, workers: workers, col: col, abort: ab, critCache: make(map[int]int)}
 	start := time.Now()
 	spSearch := col.Start(obs.PhaseBetaSearch)
-	betas := s.findBetaClusters()
+	betas, err := s.findBetaClusters()
 	spSearch.End()
+	if err != nil {
+		return nil, obs.PhaseBetaSearch, err
+	}
 	findTime := time.Since(start)
 	start = time.Now()
+	if err := ab.check(fault.Merge); err != nil {
+		return nil, obs.PhaseClusterMerge, err
+	}
 	spMerge := col.Start(obs.PhaseClusterMerge)
 	clusters, merges := buildClusters(betas, t.D)
 	spMerge.End()
 	col.SetClusterCounts(int64(len(betas)), int64(len(clusters)), int64(merges))
 	col.Progress(obs.PhaseClusterMerge, int64(len(clusters)), int64(len(clusters)))
 	spLabel := col.Start(obs.PhaseLabeling)
-	labels := labelPoints(ds, betas, clusters, workers, col)
+	labels, err := labelPoints(ds, betas, clusters, workers, col, ab)
 	spLabel.End()
+	if err != nil {
+		return nil, obs.PhaseLabeling, err
+	}
 	for i := range clusters {
 		clusters[i].Size = 0
 	}
@@ -324,7 +472,7 @@ func runOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs.Collecto
 			BuildClusters: time.Since(start),
 		},
 		Stats: col.Finish(),
-	}, nil
+	}, obs.PhaseLabeling, nil
 }
 
 // searcher carries the state of the β-cluster search (Algorithm 2).
@@ -333,6 +481,7 @@ type searcher struct {
 	cfg       Config
 	workers   int
 	col       *obs.Collector // nil when stats are off; all methods no-op
+	abort     *aborter       // nil when the run has no abort machinery; all methods no-op
 	betas     []BetaCluster
 	critCache map[int]int // nP -> θ (see criticalValue) at cfg.Alpha (p = 1/6)
 	lBuf      []float64   // scratch cell bounds for the overlap check
@@ -348,20 +497,34 @@ type searcher struct {
 
 // findBetaClusters runs the outer repeat loop of Algorithm 2: search
 // levels 2..H-1 for the next β-cluster, restart after each hit, stop
-// when a full pass finds none.
-func (s *searcher) findBetaClusters() []BetaCluster {
+// when a full pass finds none. Every restart pass and every per-level
+// scan is an abort checkpoint; errors recorded mid-scan by worker
+// chunks (parallel.go) surface here after the fan-out drained.
+func (s *searcher) findBetaClusters() ([]BetaCluster, error) {
 	for {
 		if s.cfg.MaxBetaClusters > 0 && len(s.betas) >= s.cfg.MaxBetaClusters {
-			return s.betas
+			return s.betas, nil
+		}
+		if err := s.abort.check(fault.ScanPass); err != nil {
+			return s.betas, err
 		}
 		s.col.AddScanPass()
 		found := false
 		for h := 2; h <= s.tree.H-1; h++ {
+			if err := s.abort.check(fault.ScanLevel); err != nil {
+				return s.betas, err
+			}
 			spScan := s.col.Start(obs.PhaseConvScan)
 			path, cell, _ := s.densestCell(h)
 			spScan.EndAtLevel(h)
+			if err := s.abort.firstErr(); err != nil {
+				return s.betas, err
+			}
 			if cell == nil {
 				continue
+			}
+			if err := s.abort.check(fault.BetaTest); err != nil {
+				return s.betas, err
 			}
 			cell.Used = true
 			spTest := s.col.Start(obs.PhaseBetaTest)
@@ -381,7 +544,7 @@ func (s *searcher) findBetaClusters() []BetaCluster {
 			}
 		}
 		if !found {
-			return s.betas
+			return s.betas, nil
 		}
 	}
 }
@@ -408,7 +571,21 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell, int64) {
 		s.pathBuf = make(ctree.Path, 0, s.tree.H)
 	}
 	var maskEvals int64 // merged once per level: hot loop stays counter-free
+	polled := 0
 	s.tree.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) {
+		// Drain quickly once a checkpoint failed: the walk cannot stop
+		// early, but skipping the convolution bounds abort latency to one
+		// cheap pass over the level. The periodic check keeps even a
+		// single huge level responsive to cancellation.
+		if s.abort.stoppedNow() {
+			return
+		}
+		if polled++; polled >= scanCheckEvery {
+			polled = 0
+			if s.abort.check(fault.ScanChunk) != nil {
+				return
+			}
+		}
 		if c.Used || s.sharesSpaceWithBeta(p) {
 			return
 		}
@@ -645,8 +822,11 @@ func buildClusters(betas []BetaCluster, d int) (clusters []Cluster, merges int) 
 // first β-cluster box containing it, or Noise. Correlation clusters do
 // not share space, so the assignment is unambiguous. Each point's label
 // depends only on that point, so the range is split across workers
-// (parallel.go) with no effect on the output.
-func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, workers int, col *obs.Collector) []int {
+// (parallel.go) with no effect on the output. Every worker polls the
+// aborter at segment boundaries, so cancellation is observed within a
+// few thousand points; a worker panic is contained by the fan-out and
+// surfaces as the returned error.
+func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, workers int, col *obs.Collector, ab *aborter) ([]int, error) {
 	labels := make([]int, ds.Len())
 	betaOwner := make([]int, len(betas))
 	for _, c := range clusters {
@@ -655,33 +835,47 @@ func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, w
 		}
 	}
 	total := int64(ds.Len())
-	labelRange := func(lo, hi int) {
-		var noise int64 // plain locals in the hot loop; merged once per range
-		for i := lo; i < hi; i++ {
-			pt := ds.Points[i]
-			labels[i] = Noise
-			for bi := range betas {
-				if containsPoint(&betas[bi], pt) {
-					labels[i] = betaOwner[bi]
-					break
+	labelRange := func(lo, hi int) error {
+		for seg := lo; seg < hi; seg += scanCheckEvery {
+			end := seg + scanCheckEvery
+			if end > hi {
+				end = hi
+			}
+			if err := ab.check(fault.LabelChunk); err != nil {
+				return err
+			}
+			var noise int64 // plain locals in the hot loop; merged once per segment
+			for i := seg; i < end; i++ {
+				pt := ds.Points[i]
+				labels[i] = Noise
+				for bi := range betas {
+					if containsPoint(&betas[bi], pt) {
+						labels[i] = betaOwner[bi]
+						break
+					}
+				}
+				if labels[i] == Noise {
+					noise++
 				}
 			}
-			if labels[i] == Noise {
-				noise++
+			n := int64(end - seg)
+			done := col.AddLabeled(n-noise, noise)
+			if col.WantsProgress() {
+				col.Progress(obs.PhaseLabeling, done, total)
 			}
 		}
-		n := int64(hi - lo)
-		done := col.AddLabeled(n-noise, noise)
-		if col.WantsProgress() {
-			col.Progress(obs.PhaseLabeling, done, total)
-		}
+		return nil
 	}
+	var err error
 	if workers > 1 && ds.Len() >= minParallelPoints {
-		parallelRanges(ds.Len(), workers, labelRange)
+		err = parallelRangesErr(ds.Len(), workers, labelRange)
 	} else {
-		labelRange(0, ds.Len())
+		err = labelRange(0, ds.Len())
 	}
-	return labels
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
 }
 
 // containsPoint reports whether the β-cluster box contains the point

@@ -16,6 +16,8 @@ import (
 	"sync"
 
 	"mrcc/internal/ctree"
+	"mrcc/internal/fault"
+	"mrcc/internal/panics"
 )
 
 // minParallelCells is the level size below which spawning scan workers
@@ -26,6 +28,12 @@ const minParallelCells = 256
 // minParallelPoints is the dataset size below which point labeling
 // stays serial.
 const minParallelPoints = 4096
+
+// scanCheckEvery is the number of cells (or points) a hot loop
+// processes between abort checkpoints. It bounds cancellation latency
+// to a few thousand units of work while keeping the per-iteration cost
+// of the robustness layer at one predictable branch.
+const scanCheckEvery = 4096
 
 // chunkBest is one worker's scan result: the maximal mask value in its
 // chunk and, among the maximal cells, the lexicographically smallest
@@ -72,25 +80,23 @@ func (s *searcher) densestCellNaiveParallel(h int) (ctree.Path, *ctree.Cell, int
 		best := s.scanChunk(ix, 0, n)
 		return best.path, best.cell, best.val
 	}
-	chunk := (n + workers - 1) / workers
 	bests := make([]chunkBest, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			bests[w] = s.scanChunk(ix, lo, hi)
-		}(w, lo, hi)
+	err := parallelRangesIndexedErr(n, workers, func(w, lo, hi int) error {
+		bests[w] = s.scanChunk(ix, lo, hi)
+		return nil
+	})
+	if err != nil {
+		// A contained worker panic; route it through the shared aborter
+		// so findBetaClusters reports it after the fan-out drained.
+		s.failWorker(err)
+		return nil, nil, 0
 	}
-	wg.Wait()
+	if s.abort.stoppedNow() {
+		// A checkpoint failed mid-scan; the partial argmax is
+		// meaningless, so report exhaustion and let the caller pick up
+		// the recorded error.
+		return nil, nil, 0
+	}
 	var best chunkBest
 	for i := range bests {
 		if bests[i].better(&best) {
@@ -117,7 +123,22 @@ func (s *searcher) scanChunk(ix *ctree.LevelIndex, lo, hi int) chunkBest {
 	uBuf := make([]float64, d)
 	pathBuf := make(ctree.Path, 0, s.tree.H)
 	var maskEvals int64
+	polled := 0
 	for i := lo; i < hi; i++ {
+		// Cooperative abort: drain the chunk as soon as any checkpoint
+		// failed (one atomic load), and poll ctx/fault points every few
+		// thousand cells. Errors are recorded in the shared aborter and
+		// reported by findBetaClusters after the fan-out drains, so the
+		// chunkBest signature stays untouched.
+		if s.abort.stoppedNow() {
+			break
+		}
+		if polled++; polled >= scanCheckEvery {
+			polled = 0
+			if s.abort.check(fault.ScanChunk) != nil {
+				break
+			}
+		}
 		c := ix.Cell(i)
 		p := ix.PathOf(i)
 		if c.Used || s.sharesSpaceWithBetaInto(p, lBuf, uBuf) {
@@ -135,19 +156,41 @@ func (s *searcher) scanChunk(ix *ctree.LevelIndex, lo, hi int) chunkBest {
 }
 
 // parallelRanges splits [0, n) into `workers` contiguous ranges and
-// runs fn on each concurrently. fn must be safe on disjoint ranges.
+// runs fn on each concurrently. fn must be safe on disjoint ranges. A
+// panicking worker is contained and re-panicked on the caller's
+// goroutine — after the WaitGroup drained — wrapped as *panics.Error,
+// which the run-level recover converts into a *PipelineError.
 func parallelRanges(n, workers int, fn func(lo, hi int)) {
-	parallelRangesIndexed(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+	err := parallelRangesIndexedErr(n, workers, func(_, lo, hi int) error {
+		fn(lo, hi)
+		return nil
+	})
+	if err != nil {
+		// fn never returns an error, so err can only be a contained
+		// worker panic; resurface it once every goroutine has exited.
+		panic(panics.New(err))
+	}
 }
 
-// parallelRangesIndexed is parallelRanges additionally passing each
-// worker's ordinal, for callers that keep per-worker state (e.g. the
-// scatter slabs of the face-value cache build).
-func parallelRangesIndexed(n, workers int, fn func(w, lo, hi int)) {
+// parallelRangesErr is parallelRanges for error-returning workers: the
+// first error (in worker order) wins, the rest drain, and a panicking
+// worker yields a *panics.Error instead of crashing the process.
+func parallelRangesErr(n, workers int, fn func(lo, hi int) error) error {
+	return parallelRangesIndexedErr(n, workers, func(_, lo, hi int) error { return fn(lo, hi) })
+}
+
+// parallelRangesIndexedErr is parallelRangesErr additionally passing
+// each worker's ordinal, for callers that keep per-worker state (e.g.
+// the scatter slabs of the face-value cache build). Panics inside fn
+// are recovered in the worker goroutine itself, so the WaitGroup
+// always drains — no abandoned peers, no leaked goroutines — and the
+// panic value (with its stack) is reported as a *panics.Error.
+func parallelRangesIndexedErr(n, workers int, fn func(w, lo, hi int) error) error {
 	if workers > n {
 		workers = n
 	}
 	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -161,8 +204,19 @@ func parallelRangesIndexed(n, workers int, fn func(w, lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(w, lo, hi)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = panics.New(r)
+				}
+			}()
+			errs[w] = fn(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

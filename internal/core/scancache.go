@@ -28,6 +28,7 @@ import (
 
 	"mrcc/internal/conv"
 	"mrcc/internal/ctree"
+	"mrcc/internal/fault"
 )
 
 // levelScan is one level's cached, ordered convolution snapshot.
@@ -38,17 +39,22 @@ type levelScan struct {
 }
 
 // levelScan returns the cached snapshot for level h, building it on
-// first use.
-func (s *searcher) levelScan(h int) *levelScan {
+// first use. An aborted build is NOT cached: the slab would be
+// incomplete, and a caller that retries after clearing the abort (none
+// does today) must get a fresh, complete build.
+func (s *searcher) levelScan(h int) (*levelScan, error) {
 	if s.scans == nil {
 		s.scans = make([]*levelScan, s.tree.H)
 	}
 	if sc := s.scans[h]; sc != nil {
-		return sc
+		return sc, nil
 	}
-	sc := s.buildLevelScan(h)
+	sc, err := s.buildLevelScan(h)
+	if err != nil {
+		return nil, err
+	}
 	s.scans[h] = sc
-	return sc
+	return sc, nil
 }
 
 // buildLevelScan computes level h's mask values (in parallel for
@@ -58,48 +64,92 @@ func (s *searcher) levelScan(h int) *levelScan {
 // probe per stored adjacency instead of two (conv.FaceValuesChunk) —
 // with per-worker slabs summed after the fan-out; the full 3^d mask
 // keeps the per-entry walk.
-func (s *searcher) buildLevelScan(h int) *levelScan {
+//
+// The build is segmented (scanCheckEvery entries per segment) so every
+// worker — and the serial path — polls the run's abort checkpoint a
+// few thousand cells apart: a cancelled context stops the one-shot
+// cache build, the run's single largest scan-side computation, within
+// one segment. Segmenting changes nothing about the values: each
+// FaceValuesChunk call scatters a disjoint entry range's contributions
+// and integer addition commutes exactly, so any segmentation yields
+// the same slab as the one-call pass (conv.FaceValuesSerial is itself
+// FaceValuesChunk over the whole range).
+func (s *searcher) buildLevelScan(h int) (*levelScan, error) {
 	ix := s.tree.LevelIndex(h)
 	n := ix.Len()
 	vals := make([]int64, n)
 	parallel := s.workers > 1 && n >= minParallelCells
+	var err error
 	switch {
 	case s.cfg.FullMask:
-		compute := func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				vals[i] = conv.FullValue(s.tree, ix.PathOf(i), ix.Cell(i))
+		compute := func(lo, hi int) error {
+			for seg := lo; seg < hi; seg += scanCheckEvery {
+				end := seg + scanCheckEvery
+				if end > hi {
+					end = hi
+				}
+				if err := s.abort.check(fault.ScanChunk); err != nil {
+					return err
+				}
+				for i := seg; i < end; i++ {
+					vals[i] = conv.FullValue(s.tree, ix.PathOf(i), ix.Cell(i))
+				}
 			}
+			return nil
 		}
 		if parallel {
-			parallelRanges(n, s.workers, compute)
+			err = parallelRangesErr(n, s.workers, compute)
 		} else {
-			compute(0, n)
+			err = compute(0, n)
 		}
-	case parallel:
-		workers := s.workers
-		if workers > n {
-			workers = n
+	default:
+		workers := 1
+		if parallel {
+			workers = s.workers
+			if workers > n {
+				workers = n
+			}
 		}
 		slabs := make([][]int64, workers)
 		lookups := make([]int64, workers)
-		parallelRangesIndexed(n, workers, func(w, lo, hi int) {
-			slab := make([]int64, n)
-			lookups[w] = conv.FaceValuesChunk(ix, lo, hi, slab)
-			slabs[w] = slab
-		})
-		var total int64
-		for w, slab := range slabs {
-			if slab == nil {
-				continue
+		scatter := func(w, lo, hi int) error {
+			slab := vals // serial: scatter straight into the result
+			if workers > 1 {
+				slab = make([]int64, n)
+				slabs[w] = slab
 			}
-			total += lookups[w]
-			for i, v := range slab {
-				vals[i] += v
+			for seg := lo; seg < hi; seg += scanCheckEvery {
+				end := seg + scanCheckEvery
+				if end > hi {
+					end = hi
+				}
+				if err := s.abort.check(fault.ScanChunk); err != nil {
+					return err
+				}
+				lookups[w] += conv.FaceValuesChunk(ix, seg, end, slab)
 			}
+			return nil
 		}
-		s.col.AddIndexLookups(total)
-	default:
-		s.col.AddIndexLookups(conv.FaceValuesSerial(ix, vals))
+		if workers > 1 {
+			err = parallelRangesIndexedErr(n, workers, scatter)
+		} else {
+			err = scatter(0, 0, n)
+		}
+		if err == nil {
+			var total int64
+			for w := 0; w < workers; w++ {
+				total += lookups[w]
+				if slab := slabs[w]; slab != nil {
+					for i, v := range slab {
+						vals[i] += v
+					}
+				}
+			}
+			s.col.AddIndexLookups(total)
+		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	order := make([]int32, n)
 	for i := range order {
@@ -114,7 +164,7 @@ func (s *searcher) buildLevelScan(h int) *levelScan {
 	})
 	s.col.AddValueCacheBuild(int64(n))
 	s.col.AddMaskEvals(int64(n))
-	return &levelScan{ix: ix, vals: vals, order: order}
+	return &levelScan{ix: ix, vals: vals, order: order}, nil
 }
 
 // densestCellCached returns the first eligible entry of level h's
@@ -122,7 +172,14 @@ func (s *searcher) buildLevelScan(h int) *levelScan {
 // per-pass argmax scan selects — or (nil, nil, 0) when every entry is
 // Used or β-overlapping.
 func (s *searcher) densestCellCached(h int) (ctree.Path, *ctree.Cell, int64) {
-	sc := s.levelScan(h)
+	sc, err := s.levelScan(h)
+	if err != nil {
+		// The abort is already recorded in the shared aborter (check
+		// failures) or must be routed there (contained panics);
+		// findBetaClusters picks it up right after this scan returns.
+		s.failWorker(err)
+		return nil, nil, 0
+	}
 	var skips int64
 	for pos, idx := range sc.order {
 		c := sc.ix.Cell(int(idx))

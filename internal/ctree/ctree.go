@@ -75,17 +75,19 @@ func (nd *Node) Find(loc uint64) *Cell {
 }
 
 // ensure returns the cell with the given relative position, creating it
-// (with a d-length half-space array) when absent.
-func (nd *Node) ensure(loc uint64, d int) *Cell {
+// (with a d-length half-space array) when absent. created reports
+// whether a new cell was stored, so the tree can maintain its cheap
+// cell count for the memory-limit estimate (ApproxMemoryBytes).
+func (nd *Node) ensure(loc uint64, d int) (c *Cell, created bool) {
 	if i, ok := nd.index[loc]; ok {
-		return nd.Cells[i]
+		return nd.Cells[i], false
 	}
-	c := &Cell{Loc: loc, P: make([]int32, d)}
+	c = &Cell{Loc: loc, P: make([]int32, d)}
 	// The int32 cast cannot wrap: a node holds at most one cell per
 	// counted point and trees refuse to count past MaxPoints = 2^31-1.
 	nd.index[loc] = int32(len(nd.Cells))
 	nd.Cells = append(nd.Cells, c)
-	return c
+	return c, true
 }
 
 // Tree is the Counting-tree over a normalized dataset.
@@ -104,13 +106,36 @@ type Tree struct {
 	// EnsureLevelIndexes runs, invalidated by Insert and MergeFrom.
 	idxMu   sync.Mutex
 	indexes []*LevelIndex
+
+	// cells counts the stored cells across all levels, maintained by
+	// Insert and MergeFrom. It backs ApproxMemoryBytes, the O(1)
+	// footprint estimate the memory-limited build polls at every report
+	// interval (a full MemoryBytes walk per interval would be O(cells)).
+	cells int64
+}
+
+// CellCount returns the number of stored cells across all levels.
+func (t *Tree) CellCount() int64 { return t.cells }
+
+// ApproxMemoryBytes is an O(1) estimate of the tree's heap footprint:
+// per stored cell, the Cell struct, its half-space array, the pointer
+// in its node's Cells slice, the node-index map entry, and an
+// amortized child-Node header. It tracks MemoryBytes closely enough
+// for load-shedding and is monotone in the cell count, which makes the
+// memory-limited build's early-abort decision deterministic (see
+// DESIGN.md §8); the authoritative post-build check still uses
+// MemoryBytes.
+func (t *Tree) ApproxMemoryBytes() uint64 {
+	perCell := uint64(unsafe.Sizeof(Cell{})) + 4*uint64(t.D) + 8 + 16 +
+		uint64(unsafe.Sizeof(Node{}))
+	return uint64(t.cells) * perCell
 }
 
 // Build constructs the Counting-tree for a dataset normalized to
 // [0,1)^d, with H resolutions (Algorithm 1). It is a single scan over
 // the data: O(η·H·d) time, O(H·η·d) space.
 func Build(ds *dataset.Dataset, H int) (*Tree, error) {
-	return buildReporting(ds, H, nil)
+	return buildReporting(ds, H, nil, nil)
 }
 
 // buildReportEvery is how many insertions a shard batches before
@@ -118,11 +143,14 @@ func Build(ds *dataset.Dataset, H int) (*Tree, error) {
 // path.
 const buildReportEvery = 8192
 
-// buildReporting is Build with an optional progress report: report is
+// buildReporting is Build with an optional progress report — report is
 // invoked with insertion-count deltas roughly every buildReportEvery
-// points (and once with the remainder). The observability layer hooks
-// the sharded parallel build through it.
-func buildReporting(ds *dataset.Dataset, H int, report func(delta int)) (*Tree, error) {
+// points (and once with the remainder); the observability layer hooks
+// the sharded parallel build through it — and an optional build
+// control (robust.go), polled at the same interval so cancellation,
+// injected faults and the memory cap are observed within one report
+// interval of work.
+func buildReporting(ds *dataset.Dataset, H int, report func(delta int), bc *buildControl) (*Tree, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("ctree: empty dataset")
 	}
@@ -141,15 +169,21 @@ func buildReporting(ds *dataset.Dataset, H int, report func(delta int)) (*Tree, 
 		if err := t.Insert(p); err != nil {
 			return nil, fmt.Errorf("ctree: point %d: %w", i, err)
 		}
-		if report != nil {
-			if pending++; pending == buildReportEvery {
+		if pending++; pending == buildReportEvery {
+			if report != nil {
 				report(pending)
-				pending = 0
+			}
+			pending = 0
+			if err := bc.check(t); err != nil {
+				return nil, err
 			}
 		}
 	}
 	if report != nil && pending > 0 {
 		report(pending)
+	}
+	if err := bc.check(t); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -2,9 +2,6 @@ package ctree
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"mrcc/internal/dataset"
 )
@@ -31,7 +28,10 @@ func (t *Tree) Insert(p []float64) error {
 		if err != nil {
 			return fmt.Errorf("ctree: %w", err)
 		}
-		c := node.ensure(loc, t.D)
+		c, created := node.ensure(loc, t.D)
+		if created {
+			t.cells++
+		}
 		c.N++
 		if prev != nil {
 			for j := 0; j < t.D; j++ {
@@ -82,17 +82,20 @@ func (t *Tree) MergeFrom(other *Tree) error {
 			t.Eta, other.Eta, int64(MaxPoints))
 	}
 	t.invalidateIndexes()
-	mergeNodes(t.Root, other.Root, t.D)
+	mergeNodes(t.Root, other.Root, t.D, &t.cells)
 	t.Eta += other.Eta
 	return nil
 }
 
-func mergeNodes(dst, src *Node, d int) {
+func mergeNodes(dst, src *Node, d int, cells *int64) {
 	if src == nil {
 		return
 	}
 	for _, sc := range src.Cells {
-		dc := dst.ensure(sc.Loc, d)
+		dc, created := dst.ensure(sc.Loc, d)
+		if created {
+			*cells++
+		}
 		dc.N += sc.N
 		for j := 0; j < d; j++ {
 			dc.P[j] += sc.P[j]
@@ -101,7 +104,7 @@ func mergeNodes(dst, src *Node, d int) {
 			if dc.Children == nil {
 				dc.Children = newNode()
 			}
-			mergeNodes(dc.Children, sc.Children, d)
+			mergeNodes(dc.Children, sc.Children, d, cells)
 		}
 	}
 }
@@ -125,59 +128,5 @@ func BuildParallel(ds *dataset.Dataset, H, workers int) (*Tree, error) {
 // callback, invoked with the cumulative insertion count roughly every
 // few thousand points. A nil progress adds no overhead.
 func BuildParallelProgress(ds *dataset.Dataset, H, workers int, progress ProgressFunc) (*Tree, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if ds == nil || ds.Len() == 0 {
-		return nil, fmt.Errorf("ctree: empty dataset")
-	}
-	total := ds.Len()
-	var report func(delta int)
-	if progress != nil {
-		var done atomic.Int64
-		report = func(delta int) {
-			progress(int(done.Add(int64(delta))), total)
-		}
-	}
-	if workers == 1 || ds.Len() < 4*workers {
-		return buildReporting(ds, H, report)
-	}
-	shardSize := (ds.Len() + workers - 1) / workers
-	trees := make([]*Tree, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * shardSize
-		hi := lo + shardSize
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			shard := &dataset.Dataset{Dims: ds.Dims, Points: ds.Points[lo:hi]}
-			trees[w], errs[w] = buildReporting(shard, H, report)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var root *Tree
-	for w := 0; w < workers; w++ {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
-		if trees[w] == nil {
-			continue
-		}
-		if root == nil {
-			root = trees[w]
-			continue
-		}
-		if err := root.MergeFrom(trees[w]); err != nil {
-			return nil, err
-		}
-	}
-	return root, nil
+	return BuildParallelOpts(ds, H, BuildOptions{Workers: workers, Progress: progress})
 }

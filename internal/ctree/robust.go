@@ -1,0 +1,234 @@
+// Robustness layer of the Counting-tree build: cooperative
+// cancellation, memory-bounded construction and worker panic
+// containment (DESIGN.md §8).
+//
+// The chunked parallel build is the pipeline's largest memory consumer
+// — the tree plus the flat level indexes grow O(H·η·d) — so this is
+// where a production deployment needs load-shedding the most. Every
+// shard polls a shared buildControl at each report interval (a few
+// thousand points), so cancellation and the memory cap are observed
+// within one chunk of work; a panic inside a shard is recovered in the
+// goroutine itself, so sync.WaitGroup peers always drain and the
+// coordinator turns the poisoned chunk into an error instead of
+// crashing the host.
+//
+// The memory-limit decision is deterministic for a fixed (dataset, H,
+// workers, limit): shards only early-abort on their own monotone
+// ApproxMemoryBytes estimate, each shard's content is a fixed slice of
+// the dataset, and a shard's cell set is a subset of the merged
+// tree's, so "some schedule aborts early" implies "every schedule
+// fails the final check" — the outcome never depends on goroutine
+// timing, only the error's reported estimate may differ.
+package ctree
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mrcc/internal/dataset"
+	"mrcc/internal/fault"
+	"mrcc/internal/panics"
+)
+
+// LimitError reports that a build (or the index construction that
+// follows it) exceeded the caller's memory budget. The core layer
+// converts it into the facade's *ResourceError, after optionally
+// degrading to a smaller H.
+type LimitError struct {
+	// LimitBytes is the configured budget.
+	LimitBytes uint64
+	// EstimateBytes is the footprint estimate that tripped the limit
+	// (ApproxMemoryBytes during the build, MemoryBytes afterwards).
+	EstimateBytes uint64
+	// H is the resolution count of the refused build.
+	H int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("ctree: counting-tree at H=%d needs ~%d bytes, over the %d-byte memory limit",
+		e.H, e.EstimateBytes, e.LimitBytes)
+}
+
+// BuildOptions configures a robust Counting-tree build.
+type BuildOptions struct {
+	// Workers is the shard count; <= 0 selects GOMAXPROCS, 1 builds
+	// serially.
+	Workers int
+	// Progress receives cumulative insertion counts (see ProgressFunc);
+	// nil adds no overhead.
+	Progress ProgressFunc
+	// Ctx cancels the build cooperatively: shards poll it at every
+	// report interval and the merge loop polls it between shards. nil
+	// means no cancellation.
+	Ctx context.Context
+	// MemoryLimitBytes caps the tree's estimated footprint during
+	// construction (ApproxMemoryBytes, polled at report intervals); 0
+	// means unlimited. The authoritative post-build MemoryBytes check
+	// is the caller's job, since only the caller knows whether level
+	// indexes will be materialized on top.
+	MemoryLimitBytes uint64
+}
+
+// buildControl is the shared abort channel of one build: the first
+// failure wins, every later checkpoint observes it through one atomic
+// load, and the coordinator reports it after all shards drained.
+type buildControl struct {
+	ctx     context.Context
+	limit   uint64
+	stopped atomic.Bool
+	mu      sync.Mutex
+	err     error
+}
+
+// fail records the first error, raises the stop flag and returns the
+// recorded (winning) error.
+func (bc *buildControl) fail(err error) error {
+	bc.mu.Lock()
+	if bc.err == nil {
+		bc.err = err
+	}
+	err = bc.err
+	bc.mu.Unlock()
+	bc.stopped.Store(true)
+	return err
+}
+
+// firstErr returns the recorded failure, or nil.
+func (bc *buildControl) firstErr() error {
+	if bc == nil {
+		return nil
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.err
+}
+
+// check is the per-interval checkpoint a shard polls while counting
+// points into t (its private shard tree). It observes, in order: a
+// failure already recorded by a peer, an armed fault-injection point,
+// context cancellation, and the memory cap against the shard's own
+// monotone footprint estimate.
+func (bc *buildControl) check(t *Tree) error {
+	if bc == nil {
+		return nil
+	}
+	if bc.stopped.Load() {
+		return bc.firstErr()
+	}
+	if err := fault.Inject(fault.BuildChunk); err != nil {
+		return bc.fail(err)
+	}
+	if bc.ctx != nil {
+		if err := bc.ctx.Err(); err != nil {
+			return bc.fail(err)
+		}
+	}
+	if bc.limit > 0 {
+		if est := t.ApproxMemoryBytes(); est > bc.limit {
+			return bc.fail(&LimitError{LimitBytes: bc.limit, EstimateBytes: est, H: t.H})
+		}
+	}
+	return nil
+}
+
+// BuildParallelOpts is the robust entry point of the Counting-tree
+// build: BuildParallelProgress plus cooperative cancellation, the
+// during-build memory cap and shard panic containment. With a zero
+// BuildOptions (beyond Workers/Progress) it behaves exactly like
+// BuildParallelProgress and produces the same tree.
+func BuildParallelOpts(ds *dataset.Dataset, H int, opt BuildOptions) (*Tree, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("ctree: empty dataset")
+	}
+	bc := &buildControl{ctx: opt.Ctx, limit: opt.MemoryLimitBytes}
+	total := ds.Len()
+	var report func(delta int)
+	if opt.Progress != nil {
+		var done atomic.Int64
+		progress := opt.Progress
+		report = func(delta int) {
+			progress(int(done.Add(int64(delta))), total)
+		}
+	}
+	if workers == 1 || ds.Len() < 4*workers {
+		t, err := buildReporting(ds, H, report, bc)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	shardSize := (ds.Len() + workers - 1) / workers
+	trees := make([]*Tree, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * shardSize
+		hi := lo + shardSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// Contain shard panics inside the goroutine: the WaitGroup
+			// always drains and the coordinator reports the panic as an
+			// error instead of the process dying.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = bc.fail(panics.New(r))
+				}
+			}()
+			shard := &dataset.Dataset{Dims: ds.Dims, Points: ds.Points[lo:hi]}
+			trees[w], errs[w] = buildReporting(shard, H, report, bc)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// The shared control's first recorded failure wins; shard slots may
+	// additionally hold follow-on errors from peers observing the stop
+	// flag, which we must not report over the cause.
+	if err := bc.firstErr(); err != nil {
+		return nil, err
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+	}
+	var root *Tree
+	for w := 0; w < workers; w++ {
+		if trees[w] == nil {
+			continue
+		}
+		if root == nil {
+			root = trees[w]
+			continue
+		}
+		if err := fault.Inject(fault.BuildMerge); err != nil {
+			return nil, err
+		}
+		if bc.ctx != nil {
+			if err := bc.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := root.MergeFrom(trees[w]); err != nil {
+			return nil, err
+		}
+		if bc.limit > 0 {
+			if est := root.ApproxMemoryBytes(); est > bc.limit {
+				return nil, &LimitError{LimitBytes: bc.limit, EstimateBytes: est, H: root.H}
+			}
+		}
+	}
+	return root, nil
+}

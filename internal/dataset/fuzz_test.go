@@ -6,8 +6,10 @@ import (
 	"testing"
 )
 
-// FuzzReadCSV checks the CSV reader never panics and that anything it
-// accepts round-trips through WriteCSV.
+// FuzzReadCSV checks the CSV reader never panics, that anything it
+// accepts passes Validate (non-finite values are rejected at parse
+// time, not deferred to validation), and that accepted data
+// round-trips through WriteCSV.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("1,2\n3,4\n")
 	f.Add("x,y\n1,2\n")
@@ -15,15 +17,19 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("")
 	f.Add("a,b\n")
 	f.Add("1\n2,3\n")
+	f.Add("NaN,1\n")
+	f.Add("1,+Inf\n")
+	f.Add("-Inf,0\n")
+	f.Add("1,2\n3\n")
+	f.Add("1,2\n3,4,5\n")
+	f.Add("1,2\n\"3,4\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		ds, err := ReadCSV(strings.NewReader(input), false)
 		if err != nil {
 			return
 		}
 		if err := ds.Validate(); err != nil {
-			// NaN/Inf literals parse as floats but fail validation;
-			// that is the documented contract, not a bug.
-			return
+			t.Fatalf("accepted dataset fails validation: %v", err)
 		}
 		var buf bytes.Buffer
 		if err := ds.WriteCSV(&buf); err != nil {

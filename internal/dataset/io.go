@@ -14,22 +14,37 @@ import (
 
 // ReadCSV parses a dataset from CSV. When header is true the first record
 // is taken as axis names. Every record must have the same number of
-// fields, all parseable as floats.
+// fields, all parseable as finite floats: NaN and ±Inf literals are
+// rejected at parse time (they would poison the min–max normalization
+// and every comparison downstream), with the true 1-based line and
+// column of the offending value in the error. Ragged records — a row
+// with a different field count than the first — are reported the same
+// way.
 func ReadCSV(r io.Reader, header bool) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
+	first := true
 	var ds *Dataset
-	line := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				if errors.Is(pe.Err, csv.ErrFieldCount) && ds != nil {
+					// Read returns the (ragged) record alongside
+					// ErrFieldCount, so the message can carry both counts.
+					return nil, fmt.Errorf("dataset: line %d: record has %d fields, want %d (as in the first record)",
+						pe.Line, len(rec), ds.Dims)
+				}
+				return nil, fmt.Errorf("dataset: line %d, column %d: %w", pe.Line, pe.Column, pe.Err)
+			}
 			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
 		}
-		line++
-		if line == 1 {
+		if first {
+			first = false
 			if len(rec) == 0 {
 				return nil, errors.New("dataset: empty CSV record")
 			}
@@ -43,12 +58,14 @@ func ReadCSV(r io.Reader, header bool) (*Dataset, error) {
 		for j, f := range rec {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d field %d: %w", line, j+1, err)
+				line, col := cr.FieldPos(j)
+				return nil, fmt.Errorf("dataset: line %d, column %d: value %q is not a number: %w", line, col, f, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				line, col := cr.FieldPos(j)
+				return nil, fmt.Errorf("dataset: line %d, column %d: non-finite value %q (NaN and ±Inf are not allowed)", line, col, f)
 			}
 			p[j] = v
-		}
-		if len(p) != ds.Dims {
-			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(p), ds.Dims)
 		}
 		ds.Points = append(ds.Points, p)
 	}
@@ -80,14 +97,20 @@ func (ds *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// LoadCSVFile reads a dataset from the named CSV file.
+// LoadCSVFile reads a dataset from the named CSV file. Parse errors
+// are wrapped with the file path, so a batch loader's failure names
+// both the file and the offending line/column.
 func LoadCSVFile(path string, header bool) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	defer f.Close()
-	return ReadCSV(bufio.NewReader(f), header)
+	ds, err := ReadCSV(bufio.NewReader(f), header)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ds, nil
 }
 
 // SaveCSVFile writes the dataset to the named CSV file.

@@ -1,0 +1,58 @@
+// Package fault is the pipeline's deterministic fault-injection
+// harness. Named injection points sit at every phase boundary and
+// inside every worker chunk loop of the MrCC pipeline; a test built
+// with the `fault` tag arms a point with an error (or a panic) and the
+// pipeline trips it exactly once, at a deterministic call count.
+//
+// Production builds pay zero cost: without the tag, Inject is an
+// inlined `return nil` and the registry does not exist. The injected
+// error is wrapped in *Error so the pipeline can tell a deliberate
+// fault from an organic failure (core treats it like a cancellation
+// and aborts cleanly with a *PipelineError).
+package fault
+
+import "fmt"
+
+// Injection point names. Each names the checkpoint the pipeline polls:
+// phase boundaries poll once per phase, chunk points once per worker
+// chunk segment (so cancellation latency is bounded by one segment).
+const (
+	// BuildChunk fires inside a Counting-tree build shard, once per
+	// report interval (ctree.buildReporting).
+	BuildChunk = "ctree.build.chunk"
+	// BuildMerge fires before each shard merge of the parallel build.
+	BuildMerge = "ctree.build.merge"
+	// ScanPass fires at the top of each β-search restart pass.
+	ScanPass = "core.scan.pass"
+	// ScanLevel fires before each per-level convolution-cache build.
+	ScanLevel = "core.scan.level"
+	// ScanChunk fires inside the convolution scan worker loops
+	// (cache build segments, naive chunk scans, cached skip-scans).
+	ScanChunk = "core.scan.chunk"
+	// BetaTest fires before each null-hypothesis test.
+	BetaTest = "core.betaTest"
+	// Merge fires before the correlation-cluster union-find.
+	Merge = "core.merge"
+	// LabelChunk fires inside the point-labeling worker loops, once
+	// per segment.
+	LabelChunk = "core.label.chunk"
+	// Normalize fires in the facade before the normalization pass.
+	Normalize = "facade.normalize"
+)
+
+// Error wraps an injected fault so the pipeline (and tests) can
+// distinguish deliberate injections from organic failures with
+// errors.As.
+type Error struct {
+	// Point is the injection point that fired.
+	Point string
+	// Err is the error the test armed the point with.
+	Err error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault injected at %s: %v", e.Point, e.Err)
+}
+
+// Unwrap exposes the armed error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }

@@ -1,0 +1,82 @@
+//go:build fault
+
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectUnarmedIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Inject("some.point"); err != nil {
+		t.Fatalf("unarmed point injected %v", err)
+	}
+	if got := Hits("some.point"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+}
+
+func TestSetFiresOnceThenDisarms(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set("p", func() error { return boom })
+	err := Inject("p")
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != "p" || !errors.Is(err, boom) {
+		t.Fatalf("first Inject = %v, want *Error{p, boom}", err)
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("second Inject = %v, want nil (one-shot)", err)
+	}
+}
+
+func TestSetAfterFiresOnNthHit(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("late")
+	SetAfter("p", 3, func() error { return boom })
+	for i := 1; i <= 2; i++ {
+		if err := Inject("p"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("third hit = %v, want boom", err)
+	}
+	if got := Hits("p"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestResetDisarmsAndClears(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", func() error { return errors.New("x") })
+	Inject("q")
+	Reset()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("point survived Reset: %v", err)
+	}
+	if got := Hits("q"); got != 0 {
+		t.Fatalf("hits survived Reset: %d", got)
+	}
+}
+
+func TestArmedPanicPropagates(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", func() error { panic("kaboom") })
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recover = %v, want kaboom", r)
+		}
+	}()
+	Inject("p")
+	t.Fatal("armed panic did not propagate")
+}
+
+func TestNilErrorFromTriggerIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", func() error { return nil })
+	if err := Inject("p"); err != nil {
+		t.Fatalf("nil-returning trigger injected %v", err)
+	}
+}

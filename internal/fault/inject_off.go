@@ -1,0 +1,10 @@
+//go:build !fault
+
+package fault
+
+// Enabled reports whether the binary was built with the `fault` tag.
+const Enabled = false
+
+// Inject is the production no-op: it compiles to an inlined nil
+// return, so the pipeline's checkpoints cost nothing without the tag.
+func Inject(string) error { return nil }

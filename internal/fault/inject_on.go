@@ -1,0 +1,80 @@
+//go:build fault
+
+package fault
+
+import "sync"
+
+// Enabled reports whether the binary was built with the `fault` tag.
+const Enabled = true
+
+// trigger is one armed injection point.
+type trigger struct {
+	after int // fire on the after-th Inject call (1-based)
+	count int
+	fn    func() error // produces the fault; may panic instead
+}
+
+var (
+	mu     sync.Mutex
+	points = make(map[string]*trigger)
+	hits   = make(map[string]int)
+)
+
+// Set arms point to fire on its next Inject call. fn may return an
+// error (injected as a *Error) or panic (exercising the pipeline's
+// panic containment). The trigger fires exactly once, then disarms.
+func Set(point string, fn func() error) { SetAfter(point, 1, fn) }
+
+// SetAfter arms point to fire on its n-th Inject call (1-based), so a
+// test can hit, say, the third scan chunk deterministically.
+func SetAfter(point string, n int, fn func() error) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	points[point] = &trigger{after: n, fn: fn}
+	mu.Unlock()
+}
+
+// Reset disarms every point and clears the hit counters. Tests call it
+// in t.Cleanup so one test's faults never leak into the next.
+func Reset() {
+	mu.Lock()
+	points = make(map[string]*trigger)
+	hits = make(map[string]int)
+	mu.Unlock()
+}
+
+// Hits reports how many times Inject has been called for point since
+// the last Reset, armed or not — tests use it to prove a checkpoint is
+// actually wired into the pipeline.
+func Hits(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[point]
+}
+
+// Inject polls the injection point: nil when unarmed or not yet at the
+// trigger count, otherwise the armed fault wrapped in *Error. The
+// armed fn runs outside the registry lock so it may panic freely.
+func Inject(point string) error {
+	mu.Lock()
+	hits[point]++
+	tr := points[point]
+	if tr == nil {
+		mu.Unlock()
+		return nil
+	}
+	tr.count++
+	if tr.count < tr.after {
+		mu.Unlock()
+		return nil
+	}
+	delete(points, point) // one-shot: disarm before firing
+	mu.Unlock()
+	err := tr.fn()
+	if err == nil {
+		return nil
+	}
+	return &Error{Point: point, Err: err}
+}

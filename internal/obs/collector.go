@@ -141,6 +141,30 @@ func (c *Collector) SetShape(points, dims, h, workers int) {
 	c.mu.Unlock()
 }
 
+// SetAborted records the phase an interrupted run failed in, so the
+// partial Stats carried by the pipeline error are self-describing.
+func (c *Collector) SetAborted(phase Phase) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.stats.Aborted == "" {
+		c.stats.Aborted = phase.String()
+	}
+	c.mu.Unlock()
+}
+
+// SetDegradedH records the reduced resolution count a memory-limited
+// run fell back to under DegradeOnMemoryLimit.
+func (c *Collector) SetDegradedH(h int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.DegradedH = h
+	c.mu.Unlock()
+}
+
 // SetTreeBytes records the Counting-tree footprint estimate.
 func (c *Collector) SetTreeBytes(b uint64) {
 	if c == nil {

@@ -174,6 +174,17 @@ type Stats struct {
 	// ctree.MemoryBytes (unsafe.Sizeof accounting).
 	TreeBytes uint64 `json:"treeBytes"`
 
+	// Aborted names the phase an interrupted run failed in (cancellation,
+	// deadline, injected fault or contained panic); empty for runs that
+	// completed. An aborted run's Stats travel inside the returned
+	// *PipelineError, so the partial record stays auditable.
+	Aborted string `json:"aborted,omitempty"`
+	// DegradedH is the reduced resolution count a memory-limited run
+	// fell back to under Config.DegradeOnMemoryLimit (0 when the
+	// configured H ran). Degraded runs are deterministic: the same
+	// dataset, config and limit always land on the same H.
+	DegradedH int `json:"degradedH,omitempty"`
+
 	Normalize    PhaseStat `json:"normalize"`
 	TreeBuild    PhaseStat `json:"treeBuild"`
 	BetaSearch   PhaseStat `json:"betaSearch"`
@@ -226,6 +237,12 @@ func (s *Stats) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "run: %d points x %d axes, H=%d, workers=%d, tree %d KB\n",
 		s.Points, s.Dims, s.H, s.Workers, s.TreeBytes/1024)
+	if s.Aborted != "" {
+		fmt.Fprintf(&b, "ABORTED during %s — partial stats follow\n", s.Aborted)
+	}
+	if s.DegradedH > 0 {
+		fmt.Fprintf(&b, "memory limit: degraded to H=%d\n", s.DegradedH)
+	}
 	fmt.Fprintf(&b, "%-14s %12s %8s %12s %12s %5s\n",
 		"phase", "wall", "spans", "heapΔ(KB)", "alloc(KB)", "gc")
 	row := func(name string, p PhaseStat, sub bool) {

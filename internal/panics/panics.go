@@ -1,0 +1,45 @@
+// Package panics converts recovered panics into errors that carry the
+// panicking goroutine's stack. The pipeline's worker goroutines and
+// facade entry points recover internal invariant violations (stats,
+// linalg, ctree) through it, so a poisoned chunk surfaces as a typed
+// error instead of crashing the host process or deadlocking
+// sync.WaitGroup peers.
+package panics
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Error is a recovered panic: the value passed to panic() and the
+// stack of the goroutine that panicked, captured at recovery time.
+type Error struct {
+	// Value is the value the code panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack (debug.Stack output).
+	Stack []byte
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("internal panic: %v", e.Value)
+}
+
+// Unwrap exposes an error-typed panic value to errors.Is/As chains.
+func (e *Error) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// New captures the current stack around a recover() result. Call it
+// directly inside the deferred function so the stack still shows the
+// panic site. If v is already a *Error (a worker's recovered panic
+// re-panicked at a coordinator), it is returned unchanged so the
+// original stack survives.
+func New(v any) *Error {
+	if e, ok := v.(*Error); ok {
+		return e
+	}
+	return &Error{Value: v, Stack: debug.Stack()}
+}

@@ -123,7 +123,9 @@ func Generate(cfg Config) (*dataset.Dataset, *GroundTruth, error) {
 	shuffle(rng, ds, gt)
 
 	if cfg.Rotations > 0 {
-		Rotate(ds, cfg.Rotations, rng)
+		if err := Rotate(ds, cfg.Rotations, rng); err != nil {
+			return nil, nil, err
+		}
 	}
 	return ds, gt, nil
 }
@@ -132,8 +134,10 @@ func Generate(cfg Config) (*dataset.Dataset, *GroundTruth, error) {
 // angle) around the cube center to the dataset in place, then min–max
 // renormalizes it back into [0,1)^d — producing clusters that live in
 // subspaces formed by linear combinations of the original axes
-// (Figures 1c/1d of the paper).
-func Rotate(ds *dataset.Dataset, n int, rng *rand.Rand) {
+// (Figures 1c/1d of the paper). A failed renormalization (e.g. an
+// empty dataset) is reported as an error; an earlier version swallowed
+// it into a panic, crashing the caller for an input problem.
+func Rotate(ds *dataset.Dataset, n int, rng *rand.Rand) error {
 	d := ds.Dims
 	rot := linalg.Identity(d)
 	for r := 0; r < n; r++ {
@@ -158,9 +162,9 @@ func Rotate(ds *dataset.Dataset, n int, rng *rand.Rand) {
 		copy(pt, out)
 	}
 	if _, _, err := ds.Normalize(); err != nil {
-		// Unreachable: the dataset was non-empty before rotation.
-		panic(err)
+		return fmt.Errorf("synthetic: renormalizing after rotation: %w", err)
 	}
+	return nil
 }
 
 // clusterSpec is one generated cluster: relevant-axis flags, per-axis

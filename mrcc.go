@@ -18,9 +18,13 @@
 package mrcc
 
 import (
+	"context"
+
 	"mrcc/internal/core"
 	"mrcc/internal/dataset"
+	"mrcc/internal/fault"
 	"mrcc/internal/obs"
+	"mrcc/internal/panics"
 )
 
 // Noise is the label assigned to points belonging to no cluster.
@@ -67,6 +71,24 @@ type Phase = obs.Phase
 // count.
 type ProgressFunc = obs.ProgressFunc
 
+// PipelineError reports a run that was aborted mid-flight: context
+// cancellation or deadline expiry, an injected fault (test builds
+// only), or a worker panic contained by the pipeline. It names the
+// interrupted phase and carries the partial Stats collected up to the
+// abort. Unwrap yields the cause, so errors.Is(err, context.Canceled)
+// and friends work through it.
+type PipelineError = core.PipelineError
+
+// ResourceError reports that Config.MemoryLimitBytes refused the run's
+// Counting-tree (after Config.DegradeOnMemoryLimit exhausted its
+// retries, if set).
+type ResourceError = core.ResourceError
+
+// PanicError carries a panic recovered from inside the pipeline — the
+// value and the stack of the panicking goroutine. It always arrives
+// wrapped in a *PipelineError; use errors.As to extract it.
+type PanicError = panics.Error
+
 // Dataset is the in-memory dataset container. See the dataset helpers
 // re-exported below for construction and I/O.
 type Dataset = dataset.Dataset
@@ -86,20 +108,51 @@ func LoadCSV(path string, header bool) (*Dataset, error) {
 }
 
 // Run clusters raw data rows at any scale: it validates the data,
-// min–max normalizes a copy into [0,1)^d and runs MrCC over it.
+// min–max normalizes a copy into [0,1)^d and runs MrCC over it. It is
+// exactly RunContext with a background context.
 func Run(rows [][]float64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), rows, cfg)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry
+// aborts the pipeline cooperatively — every phase polls ctx at chunk
+// boundaries, so the abort lands within one chunk of work — and the
+// run returns a *PipelineError naming the interrupted phase and
+// carrying the partial Stats. A background context adds no observable
+// overhead. Panics inside the pipeline (including worker goroutines)
+// are contained and surface as a *PipelineError wrapping a
+// *PanicError instead of crashing the host.
+func RunContext(ctx context.Context, rows [][]float64, cfg Config) (*Result, error) {
 	ds, err := dataset.FromRows(rows)
 	if err != nil {
 		return nil, err
 	}
-	return RunDataset(ds, cfg)
+	return RunDatasetContext(ctx, ds, cfg)
 }
 
 // RunDataset clusters the dataset, normalizing a copy first so the
 // caller's data is left untouched. When Config.CollectStats or
 // Config.Progress is set, the normalization pass is measured and
-// reported as the Normalize phase of Result.Stats.
+// reported as the Normalize phase of Result.Stats. It is exactly
+// RunDatasetContext with a background context.
 func RunDataset(ds *Dataset, cfg Config) (*Result, error) {
+	return RunDatasetContext(context.Background(), ds, cfg)
+}
+
+// RunDatasetContext is RunDataset under a context (see RunContext for
+// the cancellation and panic-containment contract). The caller's
+// dataset is never mutated, aborted run or not: normalization always
+// works on a private clone.
+func RunDatasetContext(ctx context.Context, ds *Dataset, cfg Config) (res *Result, err error) {
+	// Contain panics escaping the facade's own work (validation and
+	// normalization); the core pipeline has its own recover and returns
+	// already-wrapped errors.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &PipelineError{Phase: obs.PhaseNormalize.String(), Err: panics.New(r)}
+		}
+	}()
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,6 +160,9 @@ func RunDataset(ds *Dataset, cfg Config) (*Result, error) {
 	work := ds
 	var norm obs.PhaseStat
 	if !ds.IsNormalized() {
+		if err := abortBeforeNormalize(ctx); err != nil {
+			return nil, err
+		}
 		var normErr error
 		normalize := func() {
 			work = ds.Clone()
@@ -125,7 +181,7 @@ func RunDataset(ds *Dataset, cfg Config) (*Result, error) {
 			cfg.Progress(obs.PhaseNormalize, n, n)
 		}
 	}
-	res, err := core.Run(work, cfg)
+	res, err = core.RunContext(ctx, work, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -135,10 +191,31 @@ func RunDataset(ds *Dataset, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// abortBeforeNormalize is the facade's pre-normalization checkpoint:
+// an already-cancelled context (or an armed fault point, test builds
+// only) aborts before the clone+rescale pass touches any memory.
+func abortBeforeNormalize(ctx context.Context) error {
+	cause := fault.Inject(fault.Normalize)
+	if cause == nil && ctx != nil {
+		cause = ctx.Err()
+	}
+	if cause == nil {
+		return nil
+	}
+	return &PipelineError{Phase: obs.PhaseNormalize.String(), Err: cause}
+}
+
 // RunNormalized clusters a dataset that is already embedded in [0,1)^d,
-// without copying it. It fails if any value falls outside the unit cube.
+// without copying it. It fails if any value falls outside the unit
+// cube. It is exactly RunNormalizedContext with a background context.
 func RunNormalized(ds *Dataset, cfg Config) (*Result, error) {
 	return core.Run(ds, cfg)
+}
+
+// RunNormalizedContext is RunNormalized under a context (see
+// RunContext for the cancellation and panic-containment contract).
+func RunNormalizedContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, ds, cfg)
 }
 
 // SoftMemberships turns a hard clustering result into posterior
