@@ -9,6 +9,7 @@
 //	experiments -fig all -scale 0.05
 //	experiments -benchstats results/bench_stats.json [-scale 0.05] [-workers 4]
 //	experiments -benchscan results/bench_scan.json [-scale 0.05]
+//	experiments -benchbuild results/bench_build.json [-scale 0.05]
 //
 // -benchstats runs the parallel-pipeline benchmark dataset once per
 // worker count with the observability layer on and writes the records
@@ -20,6 +21,13 @@
 // then the default one-shot convolution cache at 1, 4 and 8 workers,
 // writing per-row phase-two wall times and speedups as JSON. CI runs
 // it at a small scale; EXPERIMENTS.md records the full-scale series.
+//
+// -benchbuild isolates phase one (the Counting-tree build): the serial
+// sorted-batch build at Workers=1, then BuildParallel at 4 and 8
+// workers, writing wall times, throughput, heap-allocation counts and
+// the arena/batch counters as JSON. CI runs it at a small scale;
+// EXPERIMENTS.md records the full-scale series next to the pre-arena
+// baseline.
 package main
 
 import (
@@ -46,6 +54,7 @@ func main() {
 		csvOut  = flag.String("csv", "", "also export the measurements to this CSV file")
 		bench   = flag.String("benchstats", "", "write pipeline bench stats (JSON) to this path (\"-\" = stdout) and exit")
 		scan    = flag.String("benchscan", "", "write β-search scan bench records (JSON) to this path (\"-\" = stdout) and exit")
+		build   = flag.String("benchbuild", "", "write tree-build bench records (JSON) to this path (\"-\" = stdout) and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -72,8 +81,15 @@ func main() {
 		}
 		return
 	}
+	if *build != "" {
+		if err := runBenchBuild(*build, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan)")
+		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan, -benchbuild)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -183,5 +199,44 @@ func runBenchScan(path string, opt experiments.Options) error {
 		}
 	}
 	fmt.Printf("wrote %d bench-scan records to %s\n", len(records), path)
+	return nil
+}
+
+// runBenchBuild runs the tree-build bench (serial sorted-batch build
+// plus BuildParallel at 4 and 8 workers, or the configured count) and
+// writes the JSON records to path or stdout.
+func runBenchBuild(path string, opt experiments.Options) error {
+	var counts []int
+	if opt.Workers > 1 {
+		counts = []int{1, opt.Workers}
+	}
+	records, err := experiments.BenchBuild(opt, counts)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return experiments.WriteBenchBuild(os.Stdout, records)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchBuild(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if r.Speedup > 0 {
+			fmt.Printf("benchbuild: workers=%d build=%.3fs (%.0f points/s, %.2fx vs serial) allocs=%d cells=%d\n",
+				r.Workers, r.BuildSeconds, r.PointsPerSec, r.Speedup, r.Allocs, r.CellCount)
+		} else {
+			fmt.Printf("benchbuild: workers=%d build=%.3fs (%.0f points/s) allocs=%d cells=%d\n",
+				r.Workers, r.BuildSeconds, r.PointsPerSec, r.Allocs, r.CellCount)
+		}
+	}
+	fmt.Printf("wrote %d bench-build records to %s\n", len(records), path)
 	return nil
 }

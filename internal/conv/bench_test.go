@@ -12,8 +12,8 @@ import (
 func BenchmarkFaceValue(b *testing.B) {
 	tr, _ := buildTree(b, 10, 20000, 1, 4)
 	var paths []ctree.Path
-	var cells []*ctree.Cell
-	tr.WalkLevel(2, func(p ctree.Path, c *ctree.Cell) {
+	var cells []ctree.Ref
+	tr.WalkLevel(2, func(p ctree.Path, c ctree.Ref) {
 		paths = append(paths, p.Clone())
 		cells = append(cells, c)
 	})
@@ -29,8 +29,8 @@ func BenchmarkFaceValue(b *testing.B) {
 func BenchmarkFullValue(b *testing.B) {
 	tr, _ := buildTree(b, 6, 5000, 1, 4)
 	var paths []ctree.Path
-	var cells []*ctree.Cell
-	tr.WalkLevel(2, func(p ctree.Path, c *ctree.Cell) {
+	var cells []ctree.Ref
+	tr.WalkLevel(2, func(p ctree.Path, c ctree.Ref) {
 		paths = append(paths, p.Clone())
 		cells = append(cells, c)
 	})

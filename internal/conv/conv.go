@@ -10,25 +10,25 @@ package conv
 import "mrcc/internal/ctree"
 
 // FaceValue returns the face-only Laplacian convolution value for the
-// cell c addressed by path p: 2d·n(c) − Σ_j [n(lower_j) + n(upper_j)],
+// cell r addressed by path p: 2d·n(c) − Σ_j [n(lower_j) + n(upper_j)],
 // where absent neighbors contribute zero.
-func FaceValue(t *ctree.Tree, p ctree.Path, c *ctree.Cell) int64 {
-	return FaceValueScratch(t, p, c, make(ctree.Path, 0, p.Level()))
+func FaceValue(t *ctree.Tree, p ctree.Path, r ctree.Ref) int64 {
+	return FaceValueScratch(t, p, r, make(ctree.Path, 0, p.Level()))
 }
 
 // FaceValueScratch is FaceValue with caller-owned path scratch (grown
 // as needed), so the convolution scan — which applies the mask once per
 // eligible cell per pass — allocates nothing per evaluation. buf must
 // not alias p; each scan worker owns its own scratch.
-func FaceValueScratch(t *ctree.Tree, p ctree.Path, c *ctree.Cell, buf ctree.Path) int64 {
+func FaceValueScratch(t *ctree.Tree, p ctree.Path, r ctree.Ref, buf ctree.Path) int64 {
 	d := t.D
-	v := int64(2*d) * int64(c.N)
+	v := int64(2*d) * int64(t.N(r))
 	for j := 0; j < d; j++ {
 		for _, upper := range [2]bool{false, true} {
 			np, ok := p.NeighborInto(buf, j, upper)
 			if ok {
-				if nc := t.CellAt(np); nc != nil {
-					v -= int64(nc.N)
+				if nc := t.CellAt(np); nc != ctree.NilRef {
+					v -= int64(t.N(nc))
 				}
 			}
 			buf = np[:0]
@@ -46,13 +46,13 @@ func FaceValueScratch(t *ctree.Tree, p ctree.Path, c *ctree.Cell, buf ctree.Path
 // scratch (grown as needed); each worker owns its own.
 func FaceValueIndexed(ix *ctree.LevelIndex, i int, buf ctree.Path) (v, lookups int64) {
 	d := ix.Dims()
-	v = int64(2*d) * int64(ix.Cell(i).N)
+	v = int64(2*d) * int64(ix.N(i))
 	for j := 0; j < d; j++ {
 		for _, upper := range [2]bool{false, true} {
 			var ni int
 			ni, buf = ix.NeighborLookup(i, j, upper, buf)
 			if ni >= 0 {
-				v -= int64(ix.Cell(ni).N)
+				v -= int64(ix.N(ni))
 			}
 			lookups++
 		}
@@ -88,14 +88,14 @@ func FaceValuesChunk(ix *ctree.LevelIndex, lo, hi int, out []int64) (lookups int
 	twoD := int64(2 * d)
 	var buf ctree.Path
 	for i := lo; i < hi; i++ {
-		ci := int64(ix.Cell(i).N)
+		ci := int64(ix.N(i))
 		out[i] += twoD * ci
 		for j := 0; j < d; j++ {
 			var k int
 			k, buf = ix.NeighborLookup(i, j, true, buf)
 			lookups++
 			if k >= 0 {
-				out[i] -= int64(ix.Cell(k).N)
+				out[i] -= int64(ix.N(k))
 				out[k] -= ci
 			}
 		}
@@ -127,10 +127,10 @@ func FaceNeighborCounts(t *ctree.Tree, p ctree.Path) (lower, upper []int32) {
 			var n int32
 			if ix != nil {
 				if ni := ix.Lookup(np); ni >= 0 {
-					n = ix.Cell(ni).N
+					n = ix.N(ni)
 				}
-			} else if nc := t.CellAt(np); nc != nil {
-				n = nc.N
+			} else if nc := t.CellAt(np); nc != ctree.NilRef {
+				n = t.N(nc)
 			}
 			if up {
 				upper[j] = n
@@ -145,13 +145,13 @@ func FaceNeighborCounts(t *ctree.Tree, p ctree.Path) (lower, upper []int32) {
 // FullValue returns the full order-3 Laplacian convolution value:
 // (3^d−1)·n(c) − Σ over all 3^d−1 offset neighbors. Cost is O(3^d·h·d);
 // it exists only for the mask ablation (experiment A-mask) on small d.
-func FullValue(t *ctree.Tree, p ctree.Path, c *ctree.Cell) int64 {
+func FullValue(t *ctree.Tree, p ctree.Path, r ctree.Ref) int64 {
 	d := t.D
 	total := int64(1)
 	for i := 0; i < d; i++ {
 		total *= 3
 	}
-	v := (total - 1) * int64(c.N)
+	v := (total - 1) * int64(t.N(r))
 	offsets := make([]int, d)
 	coords := make([]uint64, d)
 	for j := 0; j < d; j++ {
@@ -169,8 +169,8 @@ func FullValue(t *ctree.Tree, p ctree.Path, c *ctree.Cell) int64 {
 			if np == nil {
 				return
 			}
-			if nc := t.CellAt(np); nc != nil {
-				v -= int64(nc.N)
+			if nc := t.CellAt(np); nc != ctree.NilRef {
+				v -= int64(t.N(nc))
 			}
 			return
 		}

@@ -305,13 +305,16 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (res *Resu
 // DegradeOnMemoryLimit).
 //
 // The authoritative limit check happens here, after the flat level
-// indexes are materialized, against max(exact accounting, monotone
-// build estimate): the exact walk is what the run really holds, the
-// estimate keeps the decision consistent with what the build itself
-// would have refused. A refused footprint degrades to H-1 when allowed
-// — the retry builds a fresh tree, so the result is identical to a run
-// configured with the smaller H from the start — and otherwise becomes
-// a *ResourceError.
+// indexes are materialized, against the exact slab accounting:
+// Tree.MemoryBytes is an O(1) sum of arena capacities (and equals the
+// monotone estimate the build itself polls — ApproxMemoryBytes IS the
+// exact figure under the arena layout), and IndexMemoryBytes covers
+// the disjoint index slabs, so the sum is the run's true steady-state
+// footprint with no double counting and no divergence between the
+// load-shedding decision and this check. A refused footprint degrades
+// to H-1 when allowed — the retry builds a fresh tree, so the result
+// is identical to a run configured with the smaller H from the start —
+// and otherwise becomes a *ResourceError.
 func buildTreeBounded(ctx context.Context, ds *dataset.Dataset, cfg Config, progress ctree.ProgressFunc) (*ctree.Tree, int, error) {
 	h := cfg.H
 	for {
@@ -343,9 +346,6 @@ func buildTreeBounded(ctx context.Context, ds *dataset.Dataset, cfg Config, prog
 			// run's true steady-state footprint.
 			t.EnsureLevelIndexes()
 			est := t.MemoryBytes() + t.IndexMemoryBytes()
-			if approx := t.ApproxMemoryBytes(); approx > est {
-				est = approx
-			}
 			if est > cfg.MemoryLimitBytes {
 				if cfg.DegradeOnMemoryLimit && h > ctree.MinLevels {
 					h--
@@ -460,8 +460,14 @@ func runOnTreeAbortable(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs
 			clusters[lb].Size++
 		}
 	}
-	treeBytes := t.MemoryBytes()
+	// MemoryBytes is the arena's own exact footprint; the materialized
+	// level indexes are accounted separately (disjoint slabs), so the
+	// reported figure is their sum — same total the memory-limit check
+	// uses.
+	treeBytes := t.MemoryBytes() + t.IndexMemoryBytes()
 	col.SetTreeBytes(treeBytes)
+	runs, runPoints := t.BatchRuns()
+	col.SetArenaStats(t.ArenaBytes(), t.ArenaGrows(), runs, runPoints)
 	return &Result{
 		Betas:           betas,
 		Clusters:        clusters,
@@ -520,13 +526,13 @@ func (s *searcher) findBetaClusters() ([]BetaCluster, error) {
 			if err := s.abort.firstErr(); err != nil {
 				return s.betas, err
 			}
-			if cell == nil {
+			if cell == ctree.NilRef {
 				continue
 			}
 			if err := s.abort.check(fault.BetaTest); err != nil {
 				return s.betas, err
 			}
-			cell.Used = true
+			s.tree.SetUsed(cell, true)
 			spTest := s.col.Start(obs.PhaseBetaTest)
 			beta, ok := s.testCell(path, cell)
 			spTest.End()
@@ -557,7 +563,7 @@ func (s *searcher) findBetaClusters() ([]BetaCluster, error) {
 // re-convolves every eligible cell per pass instead — serially via
 // WalkLevel or chunked across workers (parallel.go) — and is pinned
 // bit-identical to the cached path by the scan-equivalence suite.
-func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell, int64) {
+func (s *searcher) densestCell(h int) (ctree.Path, ctree.Ref, int64) {
 	if !s.cfg.NaiveScan {
 		return s.densestCellCached(h)
 	}
@@ -565,14 +571,14 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell, int64) {
 		return s.densestCellNaiveParallel(h)
 	}
 	var bestPath ctree.Path
-	var bestCell *ctree.Cell
+	bestCell := ctree.NilRef
 	bestVal := int64(math.MinInt64)
 	if s.pathBuf == nil {
 		s.pathBuf = make(ctree.Path, 0, s.tree.H)
 	}
 	var maskEvals int64 // merged once per level: hot loop stays counter-free
 	polled := 0
-	s.tree.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) {
+	s.tree.WalkLevel(h, func(p ctree.Path, c ctree.Ref) {
 		// Drain quickly once a checkpoint failed: the walk cannot stop
 		// early, but skipping the convolution bounds abort latency to one
 		// cheap pass over the level. The periodic check keeps even a
@@ -586,20 +592,20 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell, int64) {
 				return
 			}
 		}
-		if c.Used || s.sharesSpaceWithBeta(p) {
+		if s.tree.Used(c) || s.sharesSpaceWithBeta(p) {
 			return
 		}
 		v := s.maskValue(p, c, s.pathBuf)
 		maskEvals++
-		if v > bestVal || (v == bestVal && bestCell != nil && p.Compare(bestPath) < 0) {
+		if v > bestVal || (v == bestVal && bestCell != ctree.NilRef && p.Compare(bestPath) < 0) {
 			bestVal = v
 			bestPath = p.Clone()
 			bestCell = c
 		}
 	})
 	s.col.AddMaskEvals(maskEvals)
-	if bestCell == nil {
-		return nil, nil, 0
+	if bestCell == ctree.NilRef {
+		return nil, ctree.NilRef, 0
 	}
 	return bestPath, bestCell, bestVal
 }
@@ -608,7 +614,7 @@ func (s *searcher) densestCell(h int) (ctree.Path, *ctree.Cell, int64) {
 // path p, using buf as neighbor-path scratch so the face mask allocates
 // nothing. It only reads the tree, so concurrent calls with distinct
 // scratch are safe.
-func (s *searcher) maskValue(p ctree.Path, c *ctree.Cell, buf ctree.Path) int64 {
+func (s *searcher) maskValue(p ctree.Path, c ctree.Ref, buf ctree.Path) int64 {
 	if s.cfg.FullMask {
 		return conv.FullValue(s.tree, p, c)
 	}
@@ -646,7 +652,7 @@ func (s *searcher) sharesSpaceWithBetaInto(p ctree.Path, lBuf, uBuf []float64) b
 // testCell applies the null-hypothesis test centered on the cell ah at
 // path p (Algorithm 2, lines 14-17) and, when at least one axis rejects
 // uniformity, describes the new β-cluster (lines 19-30).
-func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
+func (s *searcher) testCell(p ctree.Path, ah ctree.Ref) (BetaCluster, bool) {
 	d := s.tree.D
 	h := p.Level()
 	parentPath := p[:h-1]
@@ -654,7 +660,7 @@ func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
 	// instead of a root-to-leaf CellAt descent; the CellAt fallback only
 	// runs for levels outside the indexed range, which testCell never
 	// sees in practice.
-	var parent *ctree.Cell
+	parent := ctree.NilRef
 	if ix := s.tree.LevelIndex(h); ix != nil {
 		if i := ix.Lookup(p); i >= 0 {
 			parent = ix.Parent(i)
@@ -662,19 +668,20 @@ func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
 	} else {
 		parent = s.tree.CellAt(parentPath)
 	}
-	if parent == nil {
+	if parent == ctree.NilRef {
 		return BetaCluster{}, false
 	}
 	lowerN, upperN := conv.FaceNeighborCounts(s.tree, parentPath)
 	cP := make([]int64, d)
 	nP := make([]int64, d)
 	significant := false
+	parentN := int64(s.tree.N(parent))
 	for j := 0; j < d; j++ {
-		nP[j] = int64(parent.N) + int64(lowerN[j]) + int64(upperN[j])
+		nP[j] = parentN + int64(lowerN[j]) + int64(upperN[j])
 		if p[h-1]&(1<<uint(j)) == 0 {
-			cP[j] = int64(parent.P[j])
+			cP[j] = int64(s.tree.P(parent, j))
 		} else {
-			cP[j] = int64(parent.N) - int64(parent.P[j])
+			cP[j] = parentN - int64(s.tree.P(parent, j))
 		}
 		if s.isSignificant(cP[j], nP[j]) {
 			significant = true
@@ -715,7 +722,7 @@ func (s *searcher) testCell(p ctree.Path, ah *ctree.Cell) (BetaCluster, bool) {
 	// unrelated clusters together through noise (see DESIGN.md §5);
 	// genuine cluster mass spilling over a cell border always clears
 	// this bar.
-	minSpill := int32(ah.N / 20)
+	minSpill := s.tree.N(ah) / 20
 	if minSpill < 1 {
 		minSpill = 1
 	}

@@ -37,11 +37,13 @@ const scanCheckEvery = 4096
 
 // chunkBest is one worker's scan result: the maximal mask value in its
 // chunk and, among the maximal cells, the lexicographically smallest
-// path. cell == nil means the chunk had no eligible cell.
+// path. ref == ctree.NilRef means the chunk had no eligible cell —
+// every construction site must set it explicitly, because the Ref
+// zero value (0) is the arena's root sentinel, not "absent".
 type chunkBest struct {
 	val  int64
 	path ctree.Path
-	cell *ctree.Cell
+	ref  ctree.Ref
 }
 
 // better reports whether b should replace cur in the reduction. The
@@ -49,10 +51,10 @@ type chunkBest struct {
 // winner is independent of chunking and reduction order — and equal to
 // what the serial scan in core.go picks.
 func (b *chunkBest) better(cur *chunkBest) bool {
-	if b.cell == nil {
+	if b.ref == ctree.NilRef {
 		return false
 	}
-	if cur.cell == nil {
+	if cur.ref == ctree.NilRef {
 		return true
 	}
 	if b.val != cur.val {
@@ -66,7 +68,7 @@ func (b *chunkBest) better(cur *chunkBest) bool {
 // index. It survives only behind Config.NaiveScan (the cached scan in
 // scancache.go replaced it as the default); the equivalence suite
 // still exercises it at every worker count.
-func (s *searcher) densestCellNaiveParallel(h int) (ctree.Path, *ctree.Cell, int64) {
+func (s *searcher) densestCellNaiveParallel(h int) (ctree.Path, ctree.Ref, int64) {
 	ix := s.tree.LevelIndex(h)
 	n := ix.Len()
 	workers := s.workers
@@ -78,9 +80,12 @@ func (s *searcher) densestCellNaiveParallel(h int) (ctree.Path, *ctree.Cell, int
 	}
 	if workers <= 1 {
 		best := s.scanChunk(ix, 0, n)
-		return best.path, best.cell, best.val
+		return best.path, best.ref, best.val
 	}
 	bests := make([]chunkBest, workers)
+	for i := range bests {
+		bests[i].ref = ctree.NilRef
+	}
 	err := parallelRangesIndexedErr(n, workers, func(w, lo, hi int) error {
 		bests[w] = s.scanChunk(ix, lo, hi)
 		return nil
@@ -89,24 +94,24 @@ func (s *searcher) densestCellNaiveParallel(h int) (ctree.Path, *ctree.Cell, int
 		// A contained worker panic; route it through the shared aborter
 		// so findBetaClusters reports it after the fan-out drained.
 		s.failWorker(err)
-		return nil, nil, 0
+		return nil, ctree.NilRef, 0
 	}
 	if s.abort.stoppedNow() {
 		// A checkpoint failed mid-scan; the partial argmax is
 		// meaningless, so report exhaustion and let the caller pick up
 		// the recorded error.
-		return nil, nil, 0
+		return nil, ctree.NilRef, 0
 	}
-	var best chunkBest
+	best := chunkBest{ref: ctree.NilRef}
 	for i := range bests {
 		if bests[i].better(&best) {
 			best = bests[i]
 		}
 	}
-	if best.cell == nil {
-		return nil, nil, 0
+	if best.ref == ctree.NilRef {
+		return nil, ctree.NilRef, 0
 	}
-	return best.path, best.cell, best.val
+	return best.path, best.ref, best.val
 }
 
 // scanChunk computes the [lo, hi) chunk's argmax under the (value,
@@ -117,7 +122,7 @@ func (s *searcher) densestCellNaiveParallel(h int) (ctree.Path, *ctree.Cell, int
 // stays out of the loop: mask applications are counted in a local and
 // merged with one atomic add per chunk.
 func (s *searcher) scanChunk(ix *ctree.LevelIndex, lo, hi int) chunkBest {
-	best := chunkBest{val: math.MinInt64}
+	best := chunkBest{val: math.MinInt64, ref: ctree.NilRef}
 	d := s.tree.D
 	lBuf := make([]float64, d)
 	uBuf := make([]float64, d)
@@ -139,14 +144,13 @@ func (s *searcher) scanChunk(ix *ctree.LevelIndex, lo, hi int) chunkBest {
 				break
 			}
 		}
-		c := ix.Cell(i)
 		p := ix.PathOf(i)
-		if c.Used || s.sharesSpaceWithBetaInto(p, lBuf, uBuf) {
+		if ix.Used(i) || s.sharesSpaceWithBetaInto(p, lBuf, uBuf) {
 			continue
 		}
-		v := s.maskValue(p, c, pathBuf)
+		v := s.maskValue(p, ix.Ref(i), pathBuf)
 		maskEvals++
-		cand := chunkBest{val: v, path: p, cell: c}
+		cand := chunkBest{val: v, path: p, ref: ix.Ref(i)}
 		if cand.better(&best) {
 			best = cand
 		}

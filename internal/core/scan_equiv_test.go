@@ -146,7 +146,7 @@ func TestScanCacheEquivalenceAllUsed(t *testing.T) {
 			t.Fatal(err)
 		}
 		for h := 1; h <= tr.H-1; h++ {
-			tr.WalkLevel(h, func(p ctree.Path, c *ctree.Cell) { c.Used = true })
+			tr.WalkLevel(h, func(p ctree.Path, c ctree.Ref) { tr.SetUsed(c, true) })
 		}
 		res, err := core.RunOnTree(tr, ds, core.Config{NaiveScan: naive, H: tr.H})
 		if err != nil {

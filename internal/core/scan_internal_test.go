@@ -46,9 +46,9 @@ func betaFromCell(tr *ctree.Tree, p ctree.Path) BetaCluster {
 
 // TestDensestCellCachedMatchesNaivePerPass steps the restart loop by
 // hand: on every pass and every level, the cached skip-scan must return
-// the same cell (by pointer), path, and mask value as the naive argmax
-// re-scan — including after Used flags flip and β-clusters join the
-// overlap set. This is the per-pass pin the end-to-end equivalence
+// the same cell (by arena Ref), path, and mask value as the naive
+// argmax re-scan — including after Used flags flip and β-clusters join
+// the overlap set. This is the per-pass pin the end-to-end equivalence
 // suite cannot give (it only sees final results).
 func TestDensestCellCachedMatchesNaivePerPass(t *testing.T) {
 	for _, full := range []bool{false, true} {
@@ -69,10 +69,10 @@ func TestDensestCellCachedMatchesNaivePerPass(t *testing.T) {
 					np, nc, nv := naive.densestCell(h)
 					cp, cc, cv := cached.densestCell(h)
 					if nc != cc {
-						t.Fatalf("pass %d level %d: winners differ: naive %v (%p), cached %v (%p)",
+						t.Fatalf("pass %d level %d: winners differ: naive %v (ref %d), cached %v (ref %d)",
 							pass, h, np, nc, cp, cc)
 					}
-					if nc == nil {
+					if nc == ctree.NilRef {
 						continue
 					}
 					if np.Compare(cp) != 0 {
@@ -84,7 +84,7 @@ func TestDensestCellCachedMatchesNaivePerPass(t *testing.T) {
 					}
 					// Mark the shared winner used, exactly as
 					// findBetaClusters does after a scan.
-					nc.Used = true
+					tr.SetUsed(nc, true)
 					progressed = true
 					hits++
 					// Every third hit also becomes a β-cluster in BOTH
@@ -123,11 +123,11 @@ func TestDensestCellAllBetaOverlapped(t *testing.T) {
 	naive.betas = append(naive.betas, cube)
 	cached.betas = append(cached.betas, cube)
 	for h := 2; h <= tr.H-1; h++ {
-		if _, nc, _ := naive.densestCell(h); nc != nil {
-			t.Fatalf("level %d: naive scan found %p despite full-cube β-overlap", h, nc)
+		if _, nc, _ := naive.densestCell(h); nc != ctree.NilRef {
+			t.Fatalf("level %d: naive scan found ref %d despite full-cube β-overlap", h, nc)
 		}
-		if _, cc, _ := cached.densestCell(h); cc != nil {
-			t.Fatalf("level %d: cached scan found %p despite full-cube β-overlap", h, cc)
+		if _, cc, _ := cached.densestCell(h); cc != ctree.NilRef {
+			t.Fatalf("level %d: cached scan found ref %d despite full-cube β-overlap", h, cc)
 		}
 	}
 }
@@ -151,15 +151,15 @@ func TestDensestCellSingleCellLevel(t *testing.T) {
 		}
 		np, nc, nv := naive.densestCell(h)
 		cp, cc, cv := cached.densestCell(h)
-		if nc == nil || nc != cc || np.Compare(cp) != 0 || nv != cv {
-			t.Fatalf("level %d: single-cell winners differ: naive (%v,%p,%d), cached (%v,%p,%d)",
+		if nc == ctree.NilRef || nc != cc || np.Compare(cp) != 0 || nv != cv {
+			t.Fatalf("level %d: single-cell winners differ: naive (%v,%d,%d), cached (%v,%d,%d)",
 				h, np, nc, nv, cp, cc, cv)
 		}
-		nc.Used = true
-		if _, nc2, _ := naive.densestCell(h); nc2 != nil {
+		tr.SetUsed(nc, true)
+		if _, nc2, _ := naive.densestCell(h); nc2 != ctree.NilRef {
 			t.Fatalf("level %d: naive scan re-found the used lone cell", h)
 		}
-		if _, cc2, _ := cached.densestCell(h); cc2 != nil {
+		if _, cc2, _ := cached.densestCell(h); cc2 != ctree.NilRef {
 			t.Fatalf("level %d: cached scan re-found the used lone cell", h)
 		}
 	}

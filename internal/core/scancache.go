@@ -92,7 +92,7 @@ func (s *searcher) buildLevelScan(h int) (*levelScan, error) {
 					return err
 				}
 				for i := seg; i < end; i++ {
-					vals[i] = conv.FullValue(s.tree, ix.PathOf(i), ix.Cell(i))
+					vals[i] = conv.FullValue(s.tree, ix.PathOf(i), ix.Ref(i))
 				}
 			}
 			return nil
@@ -169,29 +169,28 @@ func (s *searcher) buildLevelScan(h int) (*levelScan, error) {
 
 // densestCellCached returns the first eligible entry of level h's
 // cached order — by construction the same (cell, value) the naive
-// per-pass argmax scan selects — or (nil, nil, 0) when every entry is
-// Used or β-overlapping.
-func (s *searcher) densestCellCached(h int) (ctree.Path, *ctree.Cell, int64) {
+// per-pass argmax scan selects — or (nil, NilRef, 0) when every entry
+// is Used or β-overlapping.
+func (s *searcher) densestCellCached(h int) (ctree.Path, ctree.Ref, int64) {
 	sc, err := s.levelScan(h)
 	if err != nil {
 		// The abort is already recorded in the shared aborter (check
 		// failures) or must be routed there (contained panics);
 		// findBetaClusters picks it up right after this scan returns.
 		s.failWorker(err)
-		return nil, nil, 0
+		return nil, ctree.NilRef, 0
 	}
 	var skips int64
 	for pos, idx := range sc.order {
-		c := sc.ix.Cell(int(idx))
-		if c.Used || s.overlapsBetaIndexed(sc.ix, int(idx)) {
+		if sc.ix.Used(int(idx)) || s.overlapsBetaIndexed(sc.ix, int(idx)) {
 			skips++
 			continue
 		}
 		s.col.AddScanProbe(skips, int64(pos+1))
-		return sc.ix.PathOf(int(idx)), c, sc.vals[idx]
+		return sc.ix.PathOf(int(idx)), sc.ix.Ref(int(idx)), sc.vals[idx]
 	}
 	s.col.AddScanProbe(skips, int64(len(sc.order)))
-	return nil, nil, 0
+	return nil, ctree.NilRef, 0
 }
 
 // overlapsBetaIndexed reports whether index entry i overlaps any found

@@ -1,0 +1,267 @@
+// Sorted batch insertion: the Counting-tree build's hot path.
+//
+// Instead of one root-to-leaf descent per point (H-1 child lookups,
+// each a hash probe or chain scan), Build quantizes a whole chunk of
+// points to the full level-H grid in one pass, sorts the chunk by each
+// point's root-to-leaf cell path (level-major, i.e. Morton/Z-order over
+// the grid), and then counts maximal runs of points sharing one stored
+// path in a single descent: the run's shared-prefix cells are reached
+// by resuming the previous run's descent stack at the first diverging
+// level, N and the level-1..H-2 half-space counters are bumped by the
+// run length at once, and only the deepest level's half-space update
+// (which depends on each point's level-H parity) stays per point.
+//
+// Determinism: the sort key is the path itself with the point's
+// original chunk index as the tie-break, so the permutation — and with
+// it the first-touch cell order — is a pure function of the chunk's
+// contents. Two builds of the same dataset produce byte-identical
+// trees; shard decompositions produce the same cell SET with the same
+// counts (order may differ, which the clustering phase's total-order
+// tie-breaks absorb, and the arena's count-determined sizing keeps the
+// memory accounting identical — see arena.go).
+//
+// When d·(H-1) <= 64 bits the whole path packs into one uint64 and the
+// sort compares single words; otherwise the key is the H-1 loc words
+// compared lexicographically. Quantization at level H is bit-exact with
+// the per-level locAtLevel arithmetic: v·2^H is an exact float64
+// product (power-of-two scale), so floor(v·2^h) == floor(v·2^H) >>
+// (H-h) for every level h.
+package ctree
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// batchInserter holds the reusable scratch of one build's chunk loop:
+// quantized coordinates, sort keys, the permutation, and the descent
+// stack resumed across runs. One inserter serves one tree.
+type batchInserter struct {
+	t      *Tree
+	packed bool // whole path fits one uint64 (d·(H-1) <= 64)
+	words  int  // key words per point (1 when packed)
+
+	q   []uint64 // level-H grid coords, point i at q[i*d:(i+1)*d]
+	key []uint64 // sort keys, point i at key[i*words:(i+1)*words]
+	ord []int32  // sort permutation over the chunk
+
+	// Descent stack: refs[h]/locs[h] address the level-h cell of the
+	// current run's path (refs[0] is the root sentinel); the first
+	// `have` levels are valid carry-over from the previous run.
+	refs []Ref
+	locs []uint64
+	cand []uint64 // next run's locs, compared against locs to find the divergence level
+	have int
+}
+
+// newBatchInserter returns a fresh inserter for t.
+func newBatchInserter(t *Tree) *batchInserter {
+	b := &batchInserter{t: t, words: 1, packed: t.D*(t.H-1) <= 64}
+	if !b.packed {
+		b.words = t.H - 1
+	}
+	b.refs = make([]Ref, t.H)
+	b.refs[0] = rootRef
+	b.locs = make([]uint64, t.H)
+	b.cand = make([]uint64, t.H)
+	return b
+}
+
+// Len, Less, Swap sort the chunk permutation by (path key asc, original
+// index asc); the index tie-break makes the order total, hence the
+// permutation deterministic.
+func (b *batchInserter) Len() int { return len(b.ord) }
+
+func (b *batchInserter) Swap(i, j int) { b.ord[i], b.ord[j] = b.ord[j], b.ord[i] }
+
+func (b *batchInserter) Less(i, j int) bool {
+	a, c := b.ord[i], b.ord[j]
+	if b.packed {
+		if ka, kc := b.key[a], b.key[c]; ka != kc {
+			return ka < kc
+		}
+		return a < c
+	}
+	w := b.words
+	ka := b.key[int(a)*w : int(a)*w+w]
+	kc := b.key[int(c)*w : int(c)*w+w]
+	for k := 0; k < w; k++ {
+		if ka[k] != kc[k] {
+			return ka[k] < kc[k]
+		}
+	}
+	return a < c
+}
+
+// keysEqual reports whether points a and c share the full stored path.
+func (b *batchInserter) keysEqual(a, c int32) bool {
+	if b.packed {
+		return b.key[a] == b.key[c]
+	}
+	w := b.words
+	ka := b.key[int(a)*w : int(a)*w+w]
+	kc := b.key[int(c)*w : int(c)*w+w]
+	for k := 0; k < w; k++ {
+		if ka[k] != kc[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// extractLocs unpacks point pi's per-level locs into cand[1..H-1].
+func (b *batchInserter) extractLocs(pi int32) {
+	H := b.t.H
+	if b.packed {
+		k := b.key[pi]
+		d := uint(b.t.D)
+		for h := H - 1; h >= 1; h-- {
+			b.cand[h] = k & b.t.dmask
+			k >>= d
+		}
+		return
+	}
+	kw := b.key[int(pi)*b.words : (int(pi)+1)*b.words]
+	for h := 1; h <= H-1; h++ {
+		b.cand[h] = kw[h-1]
+	}
+}
+
+// insert counts one chunk of points into the tree. base is the chunk's
+// offset inside the build's dataset slice, used only for error
+// messages ("point %d" is relative to the slice Build was handed,
+// matching the per-point build this replaces). The tree is only
+// mutated once the whole chunk has been validated and quantized.
+func (b *batchInserter) insert(points [][]float64, base int) error {
+	m := len(points)
+	if m == 0 {
+		return nil
+	}
+	t := b.t
+	if t.Eta+m > MaxPoints {
+		// The chunk would cross the int32 counter ceiling: fall back to
+		// the per-point path, which counts up to the limit in original
+		// order and reports the exact point that overflows.
+		return b.insertSlow(points, base)
+	}
+	d, H := t.D, t.H
+	if cap(b.q) < m*d {
+		b.q = make([]uint64, m*d)
+	}
+	b.q = b.q[:m*d]
+	if cap(b.key) < m*b.words {
+		b.key = make([]uint64, m*b.words)
+	}
+	b.key = b.key[:m*b.words]
+	if cap(b.ord) < m {
+		b.ord = make([]int32, m)
+	}
+	b.ord = b.ord[:m]
+
+	// Pass 1: validate + quantize every point at level H, derive the
+	// path sort key (level-major loc words).
+	scale := float64(uint64(1) << uint(H))
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", base+i, len(p), d)
+		}
+		qi := b.q[i*d : (i+1)*d]
+		for j, v := range p {
+			if v < 0 || v >= 1 || math.IsNaN(v) {
+				return fmt.Errorf("ctree: point %d: ctree: axis %d value %g outside [0,1): dataset must be normalized", base+i, j, v)
+			}
+			qi[j] = uint64(v * scale)
+		}
+		if b.packed {
+			var k uint64
+			for h := 1; h <= H-1; h++ {
+				var loc uint64
+				for j := 0; j < d; j++ {
+					loc |= ((qi[j] >> uint(H-h)) & 1) << uint(j)
+				}
+				k = k<<uint(d) | loc
+			}
+			b.key[i] = k
+		} else {
+			kw := b.key[i*b.words : (i+1)*b.words]
+			for h := 1; h <= H-1; h++ {
+				var loc uint64
+				for j := 0; j < d; j++ {
+					loc |= ((qi[j] >> uint(H-h)) & 1) << uint(j)
+				}
+				kw[h-1] = loc
+			}
+		}
+		b.ord[i] = int32(i)
+	}
+
+	// Pass 2: sort by path (original index tie-break keeps the
+	// permutation a pure function of the chunk).
+	sort.Sort(b)
+
+	// Pass 3: count runs. The descent stack carries over between runs:
+	// only levels at or below the divergence level walk the tree.
+	t.invalidateIndexes()
+	b.have = 0
+	for i := 0; i < m; {
+		leader := b.ord[i]
+		j := i + 1
+		for j < m && b.keysEqual(b.ord[j], leader) {
+			j++
+		}
+		cnt := int32(j - i)
+		b.extractLocs(leader)
+		div := 1
+		for div <= b.have && b.cand[div] == b.locs[div] {
+			div++
+		}
+		for h := div; h <= H-1; h++ {
+			r, _ := t.ensureChild(b.refs[h-1], b.cand[h])
+			b.refs[h] = r
+			b.locs[h] = b.cand[h]
+		}
+		b.have = H - 1
+		// N at every level gets the whole run at once; so do the
+		// half-space counters of levels 1..H-2, whose update depends
+		// only on the run's (shared) next-level loc.
+		for h := 1; h <= H-1; h++ {
+			t.n[b.refs[h]] += cnt
+		}
+		for h := 1; h <= H-2; h++ {
+			row := t.PRow(b.refs[h])
+			for ms := ^b.locs[h+1] & t.dmask; ms != 0; ms &= ms - 1 {
+				row[bits.TrailingZeros64(ms)] += cnt
+			}
+		}
+		// The deepest stored level's half-space counters depend on each
+		// point's level-H parity: per point, but no tree traversal.
+		deep := t.PRow(b.refs[H-1])
+		for k := i; k < j; k++ {
+			qk := b.q[int(b.ord[k])*d : (int(b.ord[k])+1)*d]
+			var leaf uint64
+			for jj := 0; jj < d; jj++ {
+				leaf |= (qk[jj] & 1) << uint(jj)
+			}
+			popcountLower(deep, leaf, t.dmask)
+		}
+		t.runs++
+		t.runPoints += int64(cnt)
+		i = j
+	}
+	t.Eta += m
+	return nil
+}
+
+// insertSlow is the per-point fallback for chunks that would cross
+// MaxPoints: identical semantics (and error text) to the pre-batch
+// build loop.
+func (b *batchInserter) insertSlow(points [][]float64, base int) error {
+	for i, p := range points {
+		if err := b.t.Insert(p); err != nil {
+			return fmt.Errorf("ctree: point %d: %w", base+i, err)
+		}
+	}
+	return nil
+}

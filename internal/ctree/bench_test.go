@@ -54,7 +54,7 @@ func BenchmarkNeighborLookup(b *testing.B) {
 		b.Fatal(err)
 	}
 	var paths []Path
-	tr.WalkLevel(2, func(p Path, _ *Cell) { paths = append(paths, p.Clone()) })
+	tr.WalkLevel(2, func(p Path, _ Ref) { paths = append(paths, p.Clone()) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := paths[i%len(paths)]
@@ -75,6 +75,6 @@ func BenchmarkWalkLevel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		count := 0
-		tr.WalkLevel(3, func(Path, *Cell) { count++ })
+		tr.WalkLevel(3, func(Path, Ref) { count++ })
 	}
 }

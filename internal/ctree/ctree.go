@@ -3,16 +3,18 @@
 // as a stack of d-dimensional hyper-grids at H resolutions. Level h
 // (1 <= h <= H-1) partitions the unit hyper-cube into cells of side
 // 1/2^h; each cell stores its point count, per-axis half-space counts,
-// the usedCell flag consumed by the clustering phase, and a pointer to
+// the usedCell flag consumed by the clustering phase, and a link to
 // its refinement at the next level. Only non-empty cells are stored, so
 // a level holds at most η cells even though the full grid has 2^(dh).
+//
+// Cells live in an arena of structure-of-arrays slabs and are addressed
+// by int32 Refs — see arena.go for the layout and batch.go for the
+// sorted batch insertion Build runs on top of it.
 package ctree
 
 import (
 	"fmt"
 	"math"
-	"sync"
-	"unsafe"
 
 	"mrcc/internal/dataset"
 )
@@ -32,7 +34,7 @@ const MinLevels = 3
 const MaxLevels = 60
 
 // MaxPoints bounds the number of points one Counting-tree can count.
-// Cell.N and the half-space counts Cell.P are int32 (a deliberate
+// The cell counts N and the half-space counts P are int32 (a deliberate
 // memory trade-off: the tree stores d+1 counters per non-empty cell
 // across H-1 levels), so counting more than 2^31-1 points — by
 // inserting or by merging shards whose totals sum past it — would
@@ -40,116 +42,28 @@ const MaxLevels = 60
 // datasets beyond this size must be sharded into separate trees.
 const MaxPoints = math.MaxInt32
 
-// Cell is one hyper-grid cell. Loc is its position relative to its
-// parent: bit j set means the cell sits in the upper half of axis j.
-// P[j] counts the points in the cell's lower half along axis j.
-type Cell struct {
-	Loc      uint64
-	N        int32
-	P        []int32
-	Used     bool
-	Children *Node
-}
-
-// Node holds the children cells of one parent cell (or, for the root
-// node, the level-1 cells). Cells preserves first-touch order, which is
-// deterministic for a fixed input; index maps Loc to a Cells position.
-type Node struct {
-	Cells []*Cell
-	index map[uint64]int32
-}
-
-func newNode() *Node {
-	return &Node{index: make(map[uint64]int32, 4)}
-}
-
-// Find returns the cell with the given relative position, or nil.
-func (nd *Node) Find(loc uint64) *Cell {
-	if nd == nil {
-		return nil
-	}
-	if i, ok := nd.index[loc]; ok {
-		return nd.Cells[i]
-	}
-	return nil
-}
-
-// ensure returns the cell with the given relative position, creating it
-// (with a d-length half-space array) when absent. created reports
-// whether a new cell was stored, so the tree can maintain its cheap
-// cell count for the memory-limit estimate (ApproxMemoryBytes).
-func (nd *Node) ensure(loc uint64, d int) (c *Cell, created bool) {
-	if i, ok := nd.index[loc]; ok {
-		return nd.Cells[i], false
-	}
-	c = &Cell{Loc: loc, P: make([]int32, d)}
-	// The int32 cast cannot wrap: a node holds at most one cell per
-	// counted point and trees refuse to count past MaxPoints = 2^31-1.
-	nd.index[loc] = int32(len(nd.Cells))
-	nd.Cells = append(nd.Cells, c)
-	return c, true
-}
-
-// Tree is the Counting-tree over a normalized dataset.
-type Tree struct {
-	// D is the dataset dimensionality.
-	D int
-	// H is the number of resolutions; levels 1..H-1 are stored.
-	H int
-	// Eta is the number of points counted into the tree.
-	Eta int
-	// Root holds the level-1 cells.
-	Root *Node
-
-	// idxMu guards the lazily built level indexes (levelindex.go);
-	// indexes[h-1] is the flat snapshot of level h, nil until
-	// EnsureLevelIndexes runs, invalidated by Insert and MergeFrom.
-	idxMu   sync.Mutex
-	indexes []*LevelIndex
-
-	// cells counts the stored cells across all levels, maintained by
-	// Insert and MergeFrom. It backs ApproxMemoryBytes, the O(1)
-	// footprint estimate the memory-limited build polls at every report
-	// interval (a full MemoryBytes walk per interval would be O(cells)).
-	cells int64
-}
-
-// CellCount returns the number of stored cells across all levels.
-func (t *Tree) CellCount() int64 { return t.cells }
-
-// ApproxMemoryBytes is an O(1) estimate of the tree's heap footprint:
-// per stored cell, the Cell struct, its half-space array, the pointer
-// in its node's Cells slice, the node-index map entry, and an
-// amortized child-Node header. It tracks MemoryBytes closely enough
-// for load-shedding and is monotone in the cell count, which makes the
-// memory-limited build's early-abort decision deterministic (see
-// DESIGN.md §8); the authoritative post-build check still uses
-// MemoryBytes.
-func (t *Tree) ApproxMemoryBytes() uint64 {
-	perCell := uint64(unsafe.Sizeof(Cell{})) + 4*uint64(t.D) + 8 + 16 +
-		uint64(unsafe.Sizeof(Node{}))
-	return uint64(t.cells) * perCell
-}
-
 // Build constructs the Counting-tree for a dataset normalized to
 // [0,1)^d, with H resolutions (Algorithm 1). It is a single scan over
-// the data: O(η·H·d) time, O(H·η·d) space.
+// the data — O(η·H·d) time, O(H·η·d) space — executed in sorted
+// batches (batch.go): each chunk of points is quantized to the full
+// level-H grid once, sorted by its root-to-leaf cell path, and runs of
+// points sharing a path are counted in one descent.
 func Build(ds *dataset.Dataset, H int) (*Tree, error) {
 	return buildReporting(ds, H, nil, nil)
 }
 
 // buildReportEvery is how many insertions a shard batches before
-// invoking the progress report, keeping the callback off the per-point
-// path.
+// invoking the progress report. It is also the sorted-insertion chunk
+// size: one chunk is quantized, sorted and counted between two
+// checkpoints, so cancellation, injected faults and the memory cap are
+// still observed within one report interval of work.
 const buildReportEvery = 8192
 
 // buildReporting is Build with an optional progress report — report is
 // invoked with insertion-count deltas roughly every buildReportEvery
 // points (and once with the remainder); the observability layer hooks
 // the sharded parallel build through it — and an optional build
-// control (robust.go), polled at the same interval so cancellation,
-// injected faults and the memory cap are observed within one report
-// interval of work.
+// control (robust.go), polled at the same interval.
 func buildReporting(ds *dataset.Dataset, H int, report func(delta int), bc *buildControl) (*Tree, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("ctree: empty dataset")
@@ -163,24 +77,27 @@ func buildReporting(ds *dataset.Dataset, H int, report func(delta int), bc *buil
 	if H > MaxLevels {
 		return nil, fmt.Errorf("ctree: H must be <= %d, got %d", MaxLevels, H)
 	}
-	t := &Tree{D: ds.Dims, H: H, Root: newNode()}
-	pending := 0
-	for i, p := range ds.Points {
-		if err := t.Insert(p); err != nil {
-			return nil, fmt.Errorf("ctree: point %d: %w", i, err)
+	t := New(ds.Dims, H)
+	ins := newBatchInserter(t)
+	n := ds.Len()
+	for lo := 0; lo < n; lo += buildReportEvery {
+		hi := lo + buildReportEvery
+		if hi > n {
+			hi = n
 		}
-		if pending++; pending == buildReportEvery {
+		if err := ins.insert(ds.Points[lo:hi], lo); err != nil {
+			return nil, err
+		}
+		if hi-lo == buildReportEvery {
 			if report != nil {
-				report(pending)
+				report(buildReportEvery)
 			}
-			pending = 0
 			if err := bc.check(t); err != nil {
 				return nil, err
 			}
+		} else if report != nil {
+			report(hi - lo)
 		}
-	}
-	if report != nil && pending > 0 {
-		report(pending)
 	}
 	if err := bc.check(t); err != nil {
 		return nil, err
@@ -302,28 +219,26 @@ func (p Path) Compare(q Path) int {
 }
 
 // CellAt walks the tree along the path and returns the addressed cell,
-// or nil when any step is absent.
-func (t *Tree) CellAt(p Path) *Cell {
-	node := t.Root
-	var c *Cell
+// or NilRef when any step is absent.
+func (t *Tree) CellAt(p Path) Ref {
+	r := rootRef
 	for _, loc := range p {
-		if node == nil {
-			return nil
+		r = t.findChild(r, loc)
+		if r < 0 {
+			return NilRef
 		}
-		c = node.Find(loc)
-		if c == nil {
-			return nil
-		}
-		node = c.Children
 	}
-	return c
+	if r == rootRef {
+		return NilRef
+	}
+	return r
 }
 
 // ParentCell returns the cell addressed by all but the last step of the
-// path, or nil for level-1 paths.
-func (t *Tree) ParentCell(p Path) *Cell {
+// path, or NilRef for level-1 paths.
+func (t *Tree) ParentCell(p Path) Ref {
 	if len(p) < 2 {
-		return nil
+		return NilRef
 	}
 	return t.CellAt(p[:len(p)-1])
 }
@@ -331,71 +246,48 @@ func (t *Tree) ParentCell(p Path) *Cell {
 // WalkLevel visits every stored cell at level h in deterministic
 // (first-touch) order. The path passed to fn is reused across calls;
 // clone it to retain it.
-func (t *Tree) WalkLevel(h int, fn func(p Path, c *Cell)) {
+func (t *Tree) WalkLevel(h int, fn func(p Path, r Ref)) {
 	if h < 1 || h > t.H-1 {
 		return
 	}
-	path := make(Path, 0, h)
-	t.walk(t.Root, path, h, fn)
-}
-
-func (t *Tree) walk(node *Node, path Path, h int, fn func(p Path, c *Cell)) {
-	if node == nil {
-		return
-	}
-	for _, c := range node.Cells {
-		p := append(path, c.Loc)
-		if len(p) == h {
-			fn(p, c)
+	// Iterative DFS over the arena linkage: stack[l] is the cell
+	// currently visited at depth l (level l+1); NilRef means the child
+	// chain at that depth is exhausted.
+	path := make(Path, h)
+	stack := make([]Ref, h)
+	stack[0] = t.firstChild[rootRef]
+	depth := 0
+	for depth >= 0 {
+		r := stack[depth]
+		if r < 0 {
+			depth--
+			if depth >= 0 {
+				stack[depth] = t.nextSib[stack[depth]]
+			}
 			continue
 		}
-		t.walk(c.Children, p, h, fn)
+		path[depth] = t.loc[r]
+		if depth+1 == h {
+			fn(path, r)
+			stack[depth] = t.nextSib[r]
+			continue
+		}
+		depth++
+		stack[depth] = t.firstChild[r]
 	}
 }
 
-// LevelCellCount returns the number of stored cells at level h.
+// LevelCellCount returns the number of stored cells at level h, in one
+// O(cells) pass over the arena's level column.
 func (t *Tree) LevelCellCount(h int) int {
+	if h < 1 || h > t.H-1 {
+		return 0
+	}
 	n := 0
-	t.WalkLevel(h, func(Path, *Cell) { n++ })
+	for i := 1; i < len(t.level); i++ {
+		if int(t.level[i]) == h {
+			n++
+		}
+	}
 	return n
-}
-
-// MemoryBytes estimates the heap footprint of the tree: cells, half-space
-// arrays, child nodes and index maps, plus the flat level indexes when
-// they have been materialized (EnsureLevelIndexes). It is the figure
-// the memory-usage experiments report for MrCC.
-func (t *Tree) MemoryBytes() uint64 {
-	total := t.IndexMemoryBytes()
-	var visit func(nd *Node)
-	visit = func(nd *Node) {
-		if nd == nil {
-			return
-		}
-		total += uint64(unsafe.Sizeof(*nd))
-		total += uint64(cap(nd.Cells)) * uint64(unsafe.Sizeof((*Cell)(nil)))
-		total += uint64(len(nd.index)) * 16 // key+value+bucket overhead estimate
-		for _, c := range nd.Cells {
-			total += uint64(unsafe.Sizeof(*c))
-			total += uint64(cap(c.P)) * 4
-			visit(c.Children)
-		}
-	}
-	visit(t.Root)
-	return total
-}
-
-// ResetUsed clears every usedCell flag, allowing the clustering phase to
-// run again over the same tree.
-func (t *Tree) ResetUsed() {
-	var visit func(nd *Node)
-	visit = func(nd *Node) {
-		if nd == nil {
-			return
-		}
-		for _, c := range nd.Cells {
-			c.Used = false
-			visit(c.Children)
-		}
-	}
-	visit(t.Root)
 }

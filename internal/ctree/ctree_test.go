@@ -55,7 +55,7 @@ func TestLevelCountsSumToEta(t *testing.T) {
 	}
 	for h := 1; h <= tr.H-1; h++ {
 		sum := 0
-		tr.WalkLevel(h, func(_ Path, c *Cell) { sum += int(c.N) })
+		tr.WalkLevel(h, func(_ Path, r Ref) { sum += int(tr.N(r)) })
 		if sum != ds.Len() {
 			t.Errorf("level %d: counts sum to %d, want %d", h, sum, ds.Len())
 		}
@@ -69,16 +69,14 @@ func TestChildCountsSumToParent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for h := 1; h <= tr.H-2; h++ {
-		tr.WalkLevel(h, func(p Path, c *Cell) {
-			if c.Children == nil {
+		tr.WalkLevel(h, func(p Path, r Ref) {
+			if tr.ChildCount(r) == 0 {
 				t.Fatalf("level %d cell has no children despite not being the deepest level", h)
 			}
 			sum := 0
-			for _, ch := range c.Children.Cells {
-				sum += int(ch.N)
-			}
-			if sum != int(c.N) {
-				t.Errorf("level %d cell: children sum %d != parent %d", h, sum, c.N)
+			tr.ForEachChild(r, func(ch Ref) { sum += int(tr.N(ch)) })
+			if sum != int(tr.N(r)) {
+				t.Errorf("level %d cell: children sum %d != parent %d", h, sum, tr.N(r))
 			}
 		})
 	}
@@ -94,7 +92,7 @@ func TestHalfSpaceCountsMatchData(t *testing.T) {
 		t.Fatal(err)
 	}
 	for h := 1; h <= H-1; h++ {
-		tr.WalkLevel(h, func(p Path, c *Cell) {
+		tr.WalkLevel(h, func(p Path, r Ref) {
 			for j := 0; j < tr.D; j++ {
 				lo, hi := p.Bounds(j)
 				mid := (lo + hi) / 2
@@ -112,8 +110,8 @@ func TestHalfSpaceCountsMatchData(t *testing.T) {
 						want++
 					}
 				}
-				if int(c.P[j]) != want {
-					t.Fatalf("level %d axis %d: P=%d, recomputed %d", h, j, c.P[j], want)
+				if int(tr.P(r, j)) != want {
+					t.Fatalf("level %d axis %d: P=%d, recomputed %d", h, j, tr.P(r, j), want)
 				}
 			}
 		})
@@ -127,14 +125,14 @@ func TestCellAtFindsEveryWalkedCell(t *testing.T) {
 		t.Fatal(err)
 	}
 	for h := 1; h <= tr.H-1; h++ {
-		tr.WalkLevel(h, func(p Path, c *Cell) {
-			if got := tr.CellAt(p); got != c {
+		tr.WalkLevel(h, func(p Path, r Ref) {
+			if got := tr.CellAt(p); got != r {
 				t.Fatalf("CellAt(%v) returned a different cell", p)
 			}
 		})
 	}
-	if tr.CellAt(Path{1 << 10}) != nil {
-		t.Error("CellAt for absent path should be nil")
+	if tr.CellAt(Path{1 << 10}) != NilRef {
+		t.Error("CellAt for absent path should be NilRef")
 	}
 }
 
@@ -236,8 +234,8 @@ func TestDeterministicWalkOrder(t *testing.T) {
 	t1, _ := Build(ds, 4)
 	t2, _ := Build(ds, 4)
 	var p1, p2 []Path
-	t1.WalkLevel(2, func(p Path, _ *Cell) { p1 = append(p1, p.Clone()) })
-	t2.WalkLevel(2, func(p Path, _ *Cell) { p2 = append(p2, p.Clone()) })
+	t1.WalkLevel(2, func(p Path, _ Ref) { p1 = append(p1, p.Clone()) })
+	t2.WalkLevel(2, func(p Path, _ Ref) { p2 = append(p2, p.Clone()) })
 	if len(p1) != len(p2) {
 		t.Fatalf("different cell counts: %d vs %d", len(p1), len(p2))
 	}
@@ -251,10 +249,10 @@ func TestDeterministicWalkOrder(t *testing.T) {
 func TestResetUsed(t *testing.T) {
 	ds := uniformDataset(t, 3, 100, 29)
 	tr, _ := Build(ds, 4)
-	tr.WalkLevel(2, func(_ Path, c *Cell) { c.Used = true })
+	tr.WalkLevel(2, func(_ Path, r Ref) { tr.SetUsed(r, true) })
 	tr.ResetUsed()
-	tr.WalkLevel(2, func(_ Path, c *Cell) {
-		if c.Used {
+	tr.WalkLevel(2, func(_ Path, r Ref) {
+		if tr.Used(r) {
 			t.Fatal("ResetUsed left a flag set")
 		}
 	})

@@ -1,13 +1,13 @@
 // Level indexes: flat, immutable snapshots of the Counting-tree's
 // levels that turn the β-search's neighbor/parent resolution from
-// root-to-leaf map descents (Tree.CellAt, O(h) map hops per lookup)
+// root-to-leaf descents (Tree.CellAt, O(h) child lookups per probe)
 // into a single probe of a coordinate-keyed open-addressing table, and
 // precompute the per-axis cell bounds the overlap checks would
 // otherwise re-derive from the path (O(d·h)) on every scan pass.
 //
-// One tree walk builds the indexes for every stored level at once
-// (Tree.EnsureLevelIndexes); the snapshots stay valid for as long as
-// the tree's cell set does not change — Insert and MergeFrom
+// One pass over the arena builds the indexes for every stored level at
+// once (Tree.EnsureLevelIndexes); the snapshots stay valid for as long
+// as the tree's cell set does not change — Insert and MergeFrom
 // invalidate them. Mutating the tree concurrently with index access is
 // not supported (the pipeline never does: indexes are built before the
 // scan workers fan out, and scan workers only read).
@@ -20,12 +20,15 @@ import (
 // LevelIndex is the flat snapshot of one tree level: one slab of
 // entries in the level's deterministic first-touch walk order, with the
 // full root path, packed per-axis grid coordinates, precomputed bounds
-// and the parent cell of every entry, plus a coordinate-keyed flat hash
-// over the paths for O(1)-ish cell resolution.
+// and the arena Ref of every entry and its parent, plus a
+// coordinate-keyed flat hash over the paths for O(1)-ish cell
+// resolution. Entries resolve counters (N, Used) through the owning
+// tree's arena columns, so an index adds no copy of the counts.
 type LevelIndex struct {
 	// Level is the tree level the index covers (1 <= Level <= H-1).
 	Level int
 
+	t *Tree
 	d int
 	n int
 
@@ -33,8 +36,8 @@ type LevelIndex struct {
 	paths   []uint64  // width Level: the cell's root path words
 	coords  []uint64  // width d: grid coordinate per axis at this level
 	lo, hi  []float64 // width d: per-axis cell bounds (== Path.Bounds)
-	cells   []*Cell   // the stored cell
-	parents []*Cell   // the level-(Level-1) parent cell; nil at level 1
+	refs    []Ref     // the stored cell's arena Ref
+	parents []Ref     // the level-(Level-1) parent's Ref; NilRef at level 1
 
 	// Open-addressing hash over the path slab: table[k] is an entry
 	// index or -1 when empty; mask is len(table)-1 (a power of two).
@@ -48,11 +51,19 @@ func (ix *LevelIndex) Len() int { return ix.n }
 // Dims returns the dataset dimensionality.
 func (ix *LevelIndex) Dims() int { return ix.d }
 
-// Cell returns entry i's stored cell.
-func (ix *LevelIndex) Cell(i int) *Cell { return ix.cells[i] }
+// Ref returns entry i's arena Ref in the owning tree.
+func (ix *LevelIndex) Ref(i int) Ref { return ix.refs[i] }
 
-// Parent returns entry i's parent cell (nil for level-1 entries).
-func (ix *LevelIndex) Parent(i int) *Cell { return ix.parents[i] }
+// Parent returns entry i's parent Ref (NilRef for level-1 entries).
+func (ix *LevelIndex) Parent(i int) Ref { return ix.parents[i] }
+
+// N returns entry i's point count, read through the owning tree's
+// arena.
+func (ix *LevelIndex) N(i int) int32 { return ix.t.n[ix.refs[i]] }
+
+// Used reports entry i's usedCell flag, read through the owning tree's
+// arena (so SetUsed during the scan is visible without a rebuild).
+func (ix *LevelIndex) Used(i int) bool { return ix.t.used[ix.refs[i]] }
 
 // PathOf returns entry i's root path as a view into the index's slab.
 // The view is immutable and stable for the lifetime of the index;
@@ -91,7 +102,9 @@ func (ix *LevelIndex) ComparePaths(a, b int) int {
 	return 0
 }
 
-// hashWords is FNV-1a over the path words, the key of the flat hash.
+// hashWords is FNV-1a over the path words, the key of the flat hash
+// (hashLoc in arena.go is the single-word specialization the child
+// tables use).
 func hashWords(words []uint64) uint64 {
 	h := uint64(14695981039346656037)
 	for _, w := range words {
@@ -161,8 +174,8 @@ func (ix *LevelIndex) NeighborLookup(i, j int, upper bool, buf Path) (int, Path)
 	return ix.Lookup(out), out
 }
 
-// MemoryBytes estimates the heap footprint of the index: slabs, cell
-// and parent pointer slices, and the flat hash table.
+// MemoryBytes is the exact footprint of the index: slabs, ref slices,
+// and the flat hash table.
 func (ix *LevelIndex) MemoryBytes() uint64 {
 	var total uint64
 	total += uint64(unsafe.Sizeof(*ix))
@@ -170,8 +183,8 @@ func (ix *LevelIndex) MemoryBytes() uint64 {
 	total += uint64(cap(ix.coords)) * 8
 	total += uint64(cap(ix.lo)) * 8
 	total += uint64(cap(ix.hi)) * 8
-	total += uint64(cap(ix.cells)) * uint64(unsafe.Sizeof((*Cell)(nil)))
-	total += uint64(cap(ix.parents)) * uint64(unsafe.Sizeof((*Cell)(nil)))
+	total += uint64(cap(ix.refs)) * uint64(unsafe.Sizeof(NilRef))
+	total += uint64(cap(ix.parents)) * uint64(unsafe.Sizeof(NilRef))
 	total += uint64(cap(ix.table)) * 4
 	return total
 }
@@ -187,10 +200,11 @@ func tableSize(n int) uint64 {
 }
 
 // EnsureLevelIndexes materializes the level indexes for every stored
-// level (1..H-1) in one tree walk and returns them (indexes[h-1] is
-// level h). The call is idempotent and cheap after the first build;
-// Insert and MergeFrom invalidate the cache. Concurrent calls are
-// safe; calling concurrently with tree mutation is not.
+// level (1..H-1) in one pass over the arena and returns them
+// (indexes[h-1] is level h). The call is idempotent and cheap after
+// the first build; Insert and MergeFrom invalidate the cache.
+// Concurrent calls are safe; calling concurrently with tree mutation
+// is not.
 func (t *Tree) EnsureLevelIndexes() []*LevelIndex {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
@@ -204,56 +218,72 @@ func (t *Tree) EnsureLevelIndexes() []*LevelIndex {
 		n := counts[h]
 		idxs[h-1] = &LevelIndex{
 			Level:   h,
+			t:       t,
 			d:       d,
 			paths:   make([]uint64, 0, n*h),
 			coords:  make([]uint64, 0, n*d),
 			lo:      make([]float64, 0, n*d),
 			hi:      make([]float64, 0, n*d),
-			cells:   make([]*Cell, 0, n),
-			parents: make([]*Cell, 0, n),
+			refs:    make([]Ref, 0, n),
+			parents: make([]Ref, 0, n),
 		}
 	}
-	// One DFS fills every level: path words and per-axis grid
-	// coordinates are carried down the recursion (coords frame l lives
-	// at coordScratch[l*d:(l+1)*d]), so each entry costs O(d) on top of
+	// One iterative DFS over the arena linkage fills every level in
+	// first-touch walk order: path words and per-axis grid coordinates
+	// are carried down the descent (coords frame l lives at
+	// coordScratch[l*d:(l+1)*d]), so each entry costs O(d) on top of
 	// the walk itself.
 	pathScratch := make([]uint64, t.H-1)
 	coordScratch := make([]uint64, t.H*d)
-	var walk func(nd *Node, parent *Cell, depth int)
-	walk = func(nd *Node, parent *Cell, depth int) {
-		if nd == nil {
-			return
+	stack := make([]Ref, t.H-1)
+	stack[0] = t.firstChild[rootRef]
+	depth := 0
+	for depth >= 0 {
+		r := stack[depth]
+		if r < 0 {
+			depth--
+			if depth >= 0 {
+				stack[depth] = t.nextSib[stack[depth]]
+			}
+			continue
 		}
-		h := depth + 1 // level of the cells in nd
-		side := SideLen(h)
+		h := depth + 1 // level of the cell at r
+		loc := t.loc[r]
+		pathScratch[depth] = loc
 		prev := coordScratch[depth*d : (depth+1)*d]
 		cur := coordScratch[h*d : (h+1)*d]
-		for _, c := range nd.Cells {
-			pathScratch[depth] = c.Loc
-			for j := 0; j < d; j++ {
-				cur[j] = prev[j] << 1
-				if c.Loc&(1<<uint(j)) != 0 {
-					cur[j] |= 1
-				}
+		side := SideLen(h)
+		for j := 0; j < d; j++ {
+			cur[j] = prev[j] << 1
+			if loc&(1<<uint(j)) != 0 {
+				cur[j] |= 1
 			}
-			ix := idxs[h-1]
-			ix.paths = append(ix.paths, pathScratch[:h]...)
-			ix.coords = append(ix.coords, cur...)
-			for j := 0; j < d; j++ {
-				// Matches Path.Bounds bit for bit: float64(coord)*side
-				// and (float64(coord)+1)*side.
-				fc := float64(cur[j])
-				ix.lo = append(ix.lo, fc*side)
-				ix.hi = append(ix.hi, (fc+1)*side)
-			}
-			ix.cells = append(ix.cells, c)
-			ix.parents = append(ix.parents, parent)
-			walk(c.Children, c, h)
 		}
+		ix := idxs[h-1]
+		ix.paths = append(ix.paths, pathScratch[:h]...)
+		ix.coords = append(ix.coords, cur...)
+		for j := 0; j < d; j++ {
+			// Matches Path.Bounds bit for bit: float64(coord)*side and
+			// (float64(coord)+1)*side.
+			fc := float64(cur[j])
+			ix.lo = append(ix.lo, fc*side)
+			ix.hi = append(ix.hi, (fc+1)*side)
+		}
+		ix.refs = append(ix.refs, r)
+		if par := t.parent[r]; par == rootRef {
+			ix.parents = append(ix.parents, NilRef)
+		} else {
+			ix.parents = append(ix.parents, par)
+		}
+		if h < t.H-1 && t.firstChild[r] >= 0 {
+			depth++
+			stack[depth] = t.firstChild[r]
+			continue
+		}
+		stack[depth] = t.nextSib[r]
 	}
-	walk(t.Root, nil, 0)
 	for _, ix := range idxs {
-		ix.n = len(ix.cells)
+		ix.n = len(ix.refs)
 		size := tableSize(ix.n)
 		ix.mask = size - 1
 		ix.table = make([]int32, size)
@@ -292,10 +322,10 @@ func (t *Tree) invalidateIndexes() {
 	}
 }
 
-// LevelCellCounts returns the number of stored cells per level in ONE
-// tree walk: counts[h] is level h's cell count (index 0 unused, length
-// H). Callers that previously looped LevelCellCount over the levels
-// paid O(H · cells); this is O(cells).
+// LevelCellCounts returns the number of stored cells per level:
+// counts[h] is level h's cell count (index 0 unused, length H). With
+// the arena layout this is one O(cells) pass over the level column —
+// no tree walk at all.
 func (t *Tree) LevelCellCounts() []int {
 	t.idxMu.Lock()
 	if t.indexes != nil {
@@ -310,25 +340,20 @@ func (t *Tree) LevelCellCounts() []int {
 	return t.levelCellCountsWalk()
 }
 
-// levelCellCountsWalk counts every level's stored cells in one DFS.
+// levelCellCountsWalk counts every level's stored cells in one linear
+// pass over the arena's level column.
 func (t *Tree) levelCellCountsWalk() []int {
 	counts := make([]int, t.H)
-	var walk func(nd *Node, depth int)
-	walk = func(nd *Node, depth int) {
-		if nd == nil {
-			return
-		}
-		counts[depth+1] += len(nd.Cells)
-		for _, c := range nd.Cells {
-			walk(c.Children, depth+1)
-		}
+	for i := 1; i < len(t.level); i++ {
+		counts[t.level[i]]++
 	}
-	walk(t.Root, 0)
 	return counts
 }
 
 // IndexMemoryBytes returns the footprint of the materialized level
-// indexes, or 0 when none are built.
+// indexes, or 0 when none are built. It is disjoint from the tree's
+// own MemoryBytes, so the pipeline's authoritative memory check sums
+// the two without double counting.
 func (t *Tree) IndexMemoryBytes() uint64 {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()

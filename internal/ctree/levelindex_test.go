@@ -41,9 +41,12 @@ func TestLevelIndexMatchesWalk(t *testing.T) {
 			t.Fatalf("level %d: index has %d entries, walk counts %d", h, ix.Len(), tr.LevelCellCount(h))
 		}
 		i := 0
-		tr.WalkLevel(h, func(p Path, c *Cell) {
-			if ix.Cell(i) != c {
+		tr.WalkLevel(h, func(p Path, r Ref) {
+			if ix.Ref(i) != r {
 				t.Fatalf("level %d entry %d: cell differs from walk order", h, i)
+			}
+			if ix.N(i) != tr.N(r) || ix.Used(i) != tr.Used(r) {
+				t.Fatalf("level %d entry %d: N/Used differ from the arena", h, i)
 			}
 			if ix.PathOf(i).Compare(p) != 0 {
 				t.Fatalf("level %d entry %d: path %v, walk %v", h, i, ix.PathOf(i), p)
@@ -59,7 +62,7 @@ func TestLevelIndexMatchesWalk(t *testing.T) {
 				}
 			}
 			if got, want := ix.Parent(i), tr.ParentCell(p); got != want {
-				t.Fatalf("level %d entry %d: parent %p, want %p", h, i, got, want)
+				t.Fatalf("level %d entry %d: parent %d, want %d", h, i, got, want)
 			}
 			if got := ix.Lookup(p); got != i {
 				t.Fatalf("level %d: Lookup(%v) = %d, want %d", h, p, got, i)
@@ -80,18 +83,18 @@ func TestLevelIndexNeighborLookup(t *testing.T) {
 			p := ix.PathOf(i)
 			for j := 0; j < tr.D; j++ {
 				for _, upper := range []bool{false, true} {
-					var want *Cell
+					want := NilRef
 					if np, ok := p.Neighbor(j, upper); ok {
 						want = tr.CellAt(np)
 					}
-					var got *Cell
+					got := NilRef
 					var ni int
 					ni, buf = ix.NeighborLookup(i, j, upper, buf)
 					if ni >= 0 {
-						got = ix.Cell(ni)
+						got = ix.Ref(ni)
 					}
 					if got != want {
-						t.Fatalf("level %d entry %d axis %d upper=%v: neighbor %p, want %p", h, i, j, upper, got, want)
+						t.Fatalf("level %d entry %d axis %d upper=%v: neighbor %d, want %d", h, i, j, upper, got, want)
 					}
 				}
 			}
@@ -135,24 +138,29 @@ func TestLevelCellCountsOneWalk(t *testing.T) {
 	}
 }
 
-// TestMemoryBytesIncludesLevelIndexes is the footprint regression test:
-// MemoryBytes is the figure the memory experiments report, so it must
-// grow when the level indexes are materialized, by at least the
-// indexes' own accounting.
-func TestMemoryBytesIncludesLevelIndexes(t *testing.T) {
+// TestMemoryBytesExcludesLevelIndexes is the footprint accounting
+// test: with the arena layout, MemoryBytes is the tree's EXACT slab
+// footprint and is disjoint from IndexMemoryBytes, so the pipeline's
+// authoritative check (MemoryBytes + IndexMemoryBytes) never double
+// counts. Materializing the indexes must not change the tree's own
+// figure, and the load-shedding estimate must equal the exact figure.
+func TestMemoryBytesExcludesLevelIndexes(t *testing.T) {
 	tr, _ := indexTestTree(t, 6, 2000, 4, 4)
 	before := tr.MemoryBytes()
+	if got := tr.ApproxMemoryBytes(); got != before {
+		t.Errorf("ApproxMemoryBytes = %d, want the exact MemoryBytes %d", got, before)
+	}
 	tr.EnsureLevelIndexes()
 	after := tr.MemoryBytes()
 	idx := tr.IndexMemoryBytes()
 	if idx == 0 {
 		t.Fatal("IndexMemoryBytes() == 0 after EnsureLevelIndexes")
 	}
-	if after != before+idx {
-		t.Errorf("MemoryBytes after index build = %d, want %d (tree) + %d (indexes)", after, before, idx)
+	if after != before {
+		t.Errorf("index build changed the tree's own MemoryBytes: %d -> %d", before, after)
 	}
-	if after <= before {
-		t.Errorf("reported footprint did not grow: %d -> %d", before, after)
+	if got := tr.ApproxMemoryBytes(); got != after {
+		t.Errorf("post-index ApproxMemoryBytes = %d, want %d", got, after)
 	}
 }
 

@@ -2,17 +2,18 @@ package ctree
 
 import (
 	"fmt"
+	"math"
 
 	"mrcc/internal/dataset"
 )
 
 // Insert counts one additional point (in [0,1)^d) into the tree,
-// exactly as Build's single scan does. The clustering phase can then be
-// re-run over the updated tree (after ResetUsed), which is how a
+// exactly as Build's batched scan does. The clustering phase can then
+// be re-run over the updated tree (after ResetUsed), which is how a
 // downstream system keeps clusters fresh while data streams in.
 //
-// Insert refuses to count past MaxPoints: Cell.N and Cell.P are int32
-// and the counts would otherwise silently wrap.
+// Insert refuses to count past MaxPoints: the N and P counters are
+// int32 and the counts would otherwise silently wrap.
 func (t *Tree) Insert(p []float64) error {
 	if len(p) != t.D {
 		return fmt.Errorf("ctree: point has %d values, want %d", len(p), t.D)
@@ -20,43 +21,37 @@ func (t *Tree) Insert(p []float64) error {
 	if t.Eta >= MaxPoints {
 		return fmt.Errorf("ctree: tree already counts %d points, the int32 cell-counter maximum (MaxPoints); shard larger datasets into separate trees", t.Eta)
 	}
+	// Validate and quantize every axis once at level H before touching
+	// the tree; per-level locs are bit slices of the level-H coordinate
+	// (bit-exact with locAtLevel, see batch.go).
+	var qs [MaxDims]uint64
+	scale := float64(uint64(1) << uint(t.H))
+	for j, v := range p {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			return fmt.Errorf("ctree: axis %d value %g outside [0,1): dataset must be normalized", j, v)
+		}
+		qs[j] = uint64(v * scale)
+	}
 	t.invalidateIndexes()
-	node := t.Root
-	var prev *Cell
+	cur := rootRef
+	prev := NilRef
 	for h := 1; h <= t.H-1; h++ {
-		loc, err := locAtLevel(p, h)
-		if err != nil {
-			return fmt.Errorf("ctree: %w", err)
+		var loc uint64
+		for j := 0; j < t.D; j++ {
+			loc |= ((qs[j] >> uint(t.H-h)) & 1) << uint(j)
 		}
-		c, created := node.ensure(loc, t.D)
-		if created {
-			t.cells++
+		c, _ := t.ensureChild(cur, loc)
+		t.n[c]++
+		if prev >= 0 {
+			popcountLower(t.PRow(prev), loc, t.dmask)
 		}
-		c.N++
-		if prev != nil {
-			for j := 0; j < t.D; j++ {
-				if loc&(1<<uint(j)) == 0 {
-					prev.P[j]++
-				}
-			}
-		}
-		if h < t.H-1 {
-			if c.Children == nil {
-				c.Children = newNode()
-			}
-			node = c.Children
-		}
-		prev = c
+		cur, prev = c, c
 	}
-	loc, err := locAtLevel(p, t.H)
-	if err != nil {
-		return fmt.Errorf("ctree: %w", err)
-	}
+	var leaf uint64
 	for j := 0; j < t.D; j++ {
-		if loc&(1<<uint(j)) == 0 {
-			prev.P[j]++
-		}
+		leaf |= (qs[j] & 1) << uint(j)
 	}
+	popcountLower(t.PRow(prev), leaf, t.dmask)
 	t.Eta++
 	return nil
 }
@@ -64,6 +59,12 @@ func (t *Tree) Insert(p []float64) error {
 // MergeFrom adds every count of other into t. Both trees must have the
 // same dimensionality and resolution count. other is left untouched;
 // use it to combine trees built over shards of one dataset.
+//
+// The merge is a single linear walk over the source arena instead of a
+// recursive pointer merge: a source cell's parent always has a smaller
+// Ref (parents are stored before their children), so one pass in Ref
+// order can map every source cell to its destination cell (creating it
+// when absent) and fold the N and half-space columns in cache order.
 //
 // MergeFrom refuses a merge whose combined point count would exceed
 // MaxPoints: every cell counter is int32 and the root cells (which
@@ -82,31 +83,30 @@ func (t *Tree) MergeFrom(other *Tree) error {
 			t.Eta, other.Eta, int64(MaxPoints))
 	}
 	t.invalidateIndexes()
-	mergeNodes(t.Root, other.Root, t.D, &t.cells)
-	t.Eta += other.Eta
-	return nil
-}
-
-func mergeNodes(dst, src *Node, d int, cells *int64) {
-	if src == nil {
-		return
-	}
-	for _, sc := range src.Cells {
-		dc, created := dst.ensure(sc.Loc, d)
-		if created {
-			*cells++
-		}
-		dc.N += sc.N
+	d := t.D
+	// dstOf[src Ref] = matching dst Ref; the root sentinel maps to the
+	// root sentinel, and every cell's parent is resolved before the
+	// cell itself because parent Refs are strictly smaller.
+	dstOf := make([]Ref, len(other.loc))
+	dstOf[rootRef] = rootRef
+	for sr := int(rootRef) + 1; sr < len(other.loc); sr++ {
+		dp := dstOf[other.parent[sr]]
+		dr, _ := t.ensureChild(dp, other.loc[sr])
+		dstOf[sr] = dr
+		t.n[dr] += other.n[sr]
+		srow := other.p[sr*d : sr*d+d]
+		drow := t.p[int(dr)*d : int(dr)*d+d]
 		for j := 0; j < d; j++ {
-			dc.P[j] += sc.P[j]
-		}
-		if sc.Children != nil {
-			if dc.Children == nil {
-				dc.Children = newNode()
-			}
-			mergeNodes(dc.Children, sc.Children, d, cells)
+			drow[j] += srow[j]
 		}
 	}
+	t.Eta += other.Eta
+	// Fold the shard's build statistics so the merged root reports
+	// build-wide totals to the observability layer.
+	t.grows += other.grows
+	t.runs += other.runs
+	t.runPoints += other.runPoints
+	return nil
 }
 
 // ProgressFunc reports build progress: done of total points have been

@@ -15,14 +15,14 @@ func treesEqual(t *testing.T, a, b *Tree) bool {
 	}
 	equal := true
 	for h := 1; h <= a.H-1; h++ {
-		a.WalkLevel(h, func(p Path, ca *Cell) {
-			cb := b.CellAt(p)
-			if cb == nil || ca.N != cb.N || ca.Used != cb.Used {
+		a.WalkLevel(h, func(p Path, ra Ref) {
+			rb := b.CellAt(p)
+			if rb == NilRef || a.N(ra) != b.N(rb) || a.Used(ra) != b.Used(rb) {
 				equal = false
 				return
 			}
 			for j := 0; j < a.D; j++ {
-				if ca.P[j] != cb.P[j] {
+				if a.P(ra, j) != b.P(rb, j) {
 					equal = false
 					return
 				}
@@ -41,7 +41,7 @@ func TestInsertMatchesBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	incremental := &Tree{D: 4, H: 4, Root: newNode()}
+	incremental := New(4, 4)
 	for _, p := range ds.Points {
 		if err := incremental.Insert(p); err != nil {
 			t.Fatal(err)
@@ -104,7 +104,7 @@ func TestMergeFromEmptyShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	empty := &Tree{D: 4, H: 4, Root: newNode()}
+	empty := New(4, 4)
 	if err := built.MergeFrom(empty); err != nil {
 		t.Fatalf("merging an empty shard: %v", err)
 	}
@@ -112,7 +112,7 @@ func TestMergeFromEmptyShard(t *testing.T) {
 		t.Fatal("merging an empty shard changed the tree")
 	}
 	// The other direction: counting a full shard into a fresh tree.
-	empty = &Tree{D: 4, H: 4, Root: newNode()}
+	empty = New(4, 4)
 	if err := empty.MergeFrom(built); err != nil {
 		t.Fatalf("merging into an empty tree: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestMergeFromSinglePointShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged := &Tree{D: 5, H: 4, Root: newNode()}
+	merged := New(5, 4)
 	for i := range ds.Points {
 		shard, err := Build(&dataset.Dataset{Dims: ds.Dims, Points: ds.Points[i : i+1]}, 4)
 		if err != nil {
@@ -175,13 +175,13 @@ func TestMergeFromDifferingIterationOrders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aIntoB := &Tree{D: ds.Dims, H: 4, Root: newNode()}
+	aIntoB := New(ds.Dims, 4)
 	for _, src := range []*Tree{b, a} {
 		if err := aIntoB.MergeFrom(src); err != nil {
 			t.Fatal(err)
 		}
 	}
-	bIntoA := &Tree{D: ds.Dims, H: 4, Root: newNode()}
+	bIntoA := New(ds.Dims, 4)
 	for _, src := range []*Tree{a, b} {
 		if err := bIntoA.MergeFrom(src); err != nil {
 			t.Fatal(err)

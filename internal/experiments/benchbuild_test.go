@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchBuild pins the bench-build record shape: one record per
+// worker count, identical tree shape across worker counts (the merge
+// determinism guarantee showing through the records), and populated
+// arena/batch counters.
+func TestBenchBuild(t *testing.T) {
+	records, err := BenchBuild(Options{Scale: 0.02}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	for _, r := range records {
+		if r.Points != 2000 || r.Dims != 15 {
+			t.Errorf("workers=%d: shape %dx%d, want 2000x15", r.Workers, r.Points, r.Dims)
+		}
+		if r.BuildSeconds <= 0 || r.PointsPerSec <= 0 {
+			t.Errorf("workers=%d: timing missing: %+v", r.Workers, r)
+		}
+		if r.Allocs == 0 {
+			t.Errorf("workers=%d: allocation count missing", r.Workers)
+		}
+		if r.CellCount <= 0 || r.ArenaBytes == 0 {
+			t.Errorf("workers=%d: arena counters missing: cells=%d bytes=%d", r.Workers, r.CellCount, r.ArenaBytes)
+		}
+		if r.BatchRuns <= 0 || r.BatchRunPoints != int64(r.Points) {
+			t.Errorf("workers=%d: batch counters off: runs=%d runPoints=%d", r.Workers, r.BatchRuns, r.BatchRunPoints)
+		}
+	}
+	// Deterministic merge: serial and parallel builds store the same
+	// cells, so footprint and cell counts match bit-for-bit.
+	if records[0].CellCount != records[1].CellCount || records[0].ArenaBytes != records[1].ArenaBytes {
+		t.Errorf("serial and parallel builds diverged: %+v vs %+v", records[0], records[1])
+	}
+}
+
+// TestWriteBenchBuild pins the JSON artifact shape CI archives.
+func TestWriteBenchBuild(t *testing.T) {
+	records, err := BenchBuild(Options{Scale: 0.01}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchBuild(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchBuildRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(back) != 1 || back[0].CellCount == 0 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}

@@ -175,6 +175,23 @@ func (c *Collector) SetTreeBytes(b uint64) {
 	c.mu.Unlock()
 }
 
+// SetArenaStats records the arena storage footprint and the batch-
+// insertion shape of the finished tree build: arenaBytes is the exact
+// slab/table footprint, grows the number of slab reallocations, and
+// runs/runPoints the sorted-batch run count and the points those runs
+// carried (see Counters.BatchRuns).
+func (c *Collector) SetArenaStats(arenaBytes uint64, grows, runs, runPoints int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.ArenaBytes = arenaBytes
+	c.stats.Counters.ArenaGrows = grows
+	c.stats.Counters.BatchRuns = runs
+	c.stats.Counters.BatchRunPoints = runPoints
+	c.mu.Unlock()
+}
+
 // CountCells records the stored-cell count of one tree level.
 func (c *Collector) CountCells(level int, n int64) {
 	if c == nil {

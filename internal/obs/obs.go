@@ -140,6 +140,19 @@ type Counters struct {
 	// IndexLookups counts neighbor/cell resolutions served by the flat
 	// level indexes (coordinate-hash probes) in the scan hot path.
 	IndexLookups int64 `json:"indexLookups"`
+	// ArenaGrows counts arena slab reallocations (capacity doublings)
+	// across the tree build, including every parallel shard. A build
+	// that pre-sizes well grows a handful of times; a pathological one
+	// shows up here.
+	ArenaGrows int64 `json:"arenaGrows,omitempty"`
+	// BatchRuns / BatchRunPoints describe the sorted batch insertion:
+	// BatchRuns is how many distinct leaf-path runs the Morton-sorted
+	// chunks collapsed to, BatchRunPoints how many points those runs
+	// carried (points inserted through the per-point fallback are not
+	// counted). BatchRunPoints/BatchRuns is the mean run length — the
+	// batching win over per-point descents.
+	BatchRuns      int64 `json:"batchRuns,omitempty"`
+	BatchRunPoints int64 `json:"batchRunPoints,omitempty"`
 	// BetaTests / BetaAccepted / BetaRejected count the statistical
 	// tests attempted and their outcomes.
 	BetaTests    int64 `json:"betaTests"`
@@ -170,9 +183,14 @@ type Stats struct {
 	Dims    int `json:"dims"`
 	H       int `json:"h"`
 	Workers int `json:"workers"`
-	// TreeBytes is the Counting-tree footprint estimated by
-	// ctree.MemoryBytes (unsafe.Sizeof accounting).
+	// TreeBytes is the Counting-tree footprint: the arena's exact
+	// slab/table accounting (ctree.MemoryBytes) plus the flat level
+	// indexes (ctree.IndexMemoryBytes) — the two are disjoint.
 	TreeBytes uint64 `json:"treeBytes"`
+	// ArenaBytes is the arena slab footprint alone (cell columns, the
+	// contiguous P slab and the open-addressing child tables), i.e.
+	// TreeBytes minus the level indexes.
+	ArenaBytes uint64 `json:"arenaBytes,omitempty"`
 
 	// Aborted names the phase an interrupted run failed in (cancellation,
 	// deadline, injected fault or contained panic); empty for runs that
@@ -276,6 +294,14 @@ func (s *Stats) Format() string {
 			fmt.Fprintf(&b, "  scan wall/level: %v", walls)
 		}
 		b.WriteString("\n")
+	}
+	if c.BatchRuns > 0 || c.ArenaGrows > 0 || s.ArenaBytes > 0 {
+		meanRun := float64(0)
+		if c.BatchRuns > 0 {
+			meanRun = float64(c.BatchRunPoints) / float64(c.BatchRuns)
+		}
+		fmt.Fprintf(&b, "arena: %d KB in %d grows; batch insert: %d runs, %d points (mean run %.1f)\n",
+			s.ArenaBytes/1024, c.ArenaGrows, c.BatchRuns, c.BatchRunPoints, meanRun)
 	}
 	fmt.Fprintf(&b, "mask evals: %d in %d passes; β-tests: %d (%d accepted, %d rejected)\n",
 		c.MaskEvals, c.ScanPasses, c.BetaTests, c.BetaAccepted, c.BetaRejected)
