@@ -10,6 +10,7 @@
 //	experiments -benchstats results/bench_stats.json [-scale 0.05] [-workers 4]
 //	experiments -benchscan results/bench_scan.json [-scale 0.05]
 //	experiments -benchbuild results/bench_build.json [-scale 0.05]
+//	experiments -benchsnapshot results/bench_snapshot.json [-scale 0.05]
 //
 // -benchstats runs the parallel-pipeline benchmark dataset once per
 // worker count with the observability layer on and writes the records
@@ -28,6 +29,12 @@
 // the arena/batch counters as JSON. CI runs it at a small scale;
 // EXPERIMENTS.md records the full-scale series next to the pre-arena
 // baseline.
+//
+// -benchsnapshot measures the persistence layer: snapshot save/load
+// throughput over the bench tree, and the disk-backed external build
+// at a sort budget of one tenth of the record stream, verified
+// cell-for-cell against the in-memory build. CI runs it at a small
+// scale; EXPERIMENTS.md records the full-scale figures.
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 		bench   = flag.String("benchstats", "", "write pipeline bench stats (JSON) to this path (\"-\" = stdout) and exit")
 		scan    = flag.String("benchscan", "", "write β-search scan bench records (JSON) to this path (\"-\" = stdout) and exit")
 		build   = flag.String("benchbuild", "", "write tree-build bench records (JSON) to this path (\"-\" = stdout) and exit")
+		snap    = flag.String("benchsnapshot", "", "write snapshot/external-build bench record (JSON) to this path (\"-\" = stdout) and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -88,8 +96,15 @@ func main() {
 		}
 		return
 	}
+	if *snap != "" {
+		if err := runBenchSnapshot(*snap, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan, -benchbuild)")
+		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan, -benchbuild, -benchsnapshot)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -238,5 +253,35 @@ func runBenchBuild(path string, opt experiments.Options) error {
 		}
 	}
 	fmt.Printf("wrote %d bench-build records to %s\n", len(records), path)
+	return nil
+}
+
+// runBenchSnapshot runs the persistence bench (snapshot save/load
+// throughput plus the disk-backed external build at a 10×-stream sort
+// budget) and writes the JSON record to path or stdout.
+func runBenchSnapshot(path string, opt experiments.Options) error {
+	rec, err := experiments.BenchSnapshot(opt)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return experiments.WriteBenchSnapshot(os.Stdout, rec)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchSnapshot(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("benchsnapshot: %d KB snapshot, save %.0f MB/s, load %.0f MB/s\n",
+		rec.SnapshotBytes/1024, rec.SaveBytesPerSec/1e6, rec.LoadBytesPerSec/1e6)
+	fmt.Printf("benchsnapshot: external build %.3fs at %d KB budget (%d runs, %d KB spilled) vs %.3fs in-memory\n",
+		rec.ExternalBuildSeconds, rec.SortBudgetBytes/1024, rec.SpillRuns, rec.SpillBytes/1024, rec.InMemoryBuildSeconds)
+	fmt.Printf("wrote the bench-snapshot record to %s\n", path)
 	return nil
 }

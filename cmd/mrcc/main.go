@@ -6,6 +6,7 @@
 //
 //	mrcc -in data.csv [-header] [-alpha 1e-10] [-H 4] [-workers 0]
 //	     [-timeout 0] [-memlimit 0] [-degrade]
+//	     [-save-tree tree.snap] [-load-tree tree.snap] [-external spilldir]
 //	     [-out labels.csv] [-json] [-stats]
 //	     [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -13,6 +14,16 @@
 // counters, including the β-search scan-cache line (level builds,
 // cached values, index lookups, eligibility skips, scan depth — see
 // DESIGN.md §7); -json emits the same record machine-readably.
+//
+// -save-tree snapshots the run's Counting-tree to a versioned binary
+// file after clustering; -load-tree skips phase one entirely by
+// restoring such a snapshot (the dataset must be the one the tree was
+// built from — geometry is checked). -external builds the tree
+// out-of-core: quantized points are sorted in bounded-memory chunks
+// (capped by -memlimit) and spilled as sorted runs under the given
+// directory, then k-way merged — the clustering output is identical to
+// the in-memory build's. -external cannot be combined with -degrade or
+// -load-tree.
 //
 // SIGINT/SIGTERM cancel the run cooperatively: the pipeline stops
 // within one chunk of work, the command reports the phase it reached
@@ -55,6 +66,9 @@ type options struct {
 	timeout    time.Duration
 	memLimit   uint64
 	degrade    bool
+	saveTree   string
+	loadTree   string
+	external   string
 	out        string
 	asJSON     bool
 	stats      bool
@@ -92,6 +106,9 @@ func realMainCtx(ctx context.Context, args []string, stdout, stderr io.Writer) i
 	fs.DurationVar(&opt.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
 	fs.Uint64Var(&opt.memLimit, "memlimit", 0, "Counting-tree memory budget in bytes (0 = no limit)")
 	fs.BoolVar(&opt.degrade, "degrade", false, "with -memlimit, retry at smaller H instead of failing")
+	fs.StringVar(&opt.saveTree, "save-tree", "", "write the run's Counting-tree snapshot to this file")
+	fs.StringVar(&opt.loadTree, "load-tree", "", "skip the tree build: restore the Counting-tree from this snapshot")
+	fs.StringVar(&opt.external, "external", "", "build the Counting-tree out-of-core, spilling sorted runs under this directory")
 	fs.StringVar(&opt.out, "out", "", "write per-point labels to this CSV file")
 	fs.BoolVar(&opt.asJSON, "json", false, "print the result summary as JSON")
 	fs.BoolVar(&opt.stats, "stats", false, "collect and print per-phase timings, counters and memory deltas")
@@ -157,6 +174,18 @@ func (o *options) validate() error {
 	if o.degrade && o.memLimit == 0 {
 		return fmt.Errorf("-degrade requires -memlimit")
 	}
+	if o.external != "" && o.degrade {
+		return fmt.Errorf("-external cannot be combined with -degrade: the external build bounds the sort buffer, not the tree")
+	}
+	if o.loadTree != "" && o.external != "" {
+		return fmt.Errorf("-load-tree skips the tree build; it cannot be combined with -external")
+	}
+	if o.loadTree != "" && o.degrade {
+		return fmt.Errorf("-load-tree skips the tree build; it cannot be combined with -degrade")
+	}
+	if o.loadTree != "" && o.memLimit != 0 {
+		return fmt.Errorf("-load-tree skips the tree build; -memlimit would be silently ignored")
+	}
 	return nil
 }
 
@@ -181,17 +210,36 @@ func run(ctx context.Context, opt options, stdout io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	start := time.Now()
-	res, err := mrcc.RunDatasetContext(ctx, ds, mrcc.Config{
+	cfg := mrcc.Config{
 		Alpha: opt.alpha, H: opt.h, Workers: opt.workers,
 		CollectStats:         opt.stats,
 		MemoryLimitBytes:     opt.memLimit,
 		DegradeOnMemoryLimit: opt.degrade,
-	})
+		ExternalSpillDir:     opt.external,
+		KeepTree:             opt.saveTree != "",
+	}
+	start := time.Now()
+	var res *mrcc.Result
+	var snapshotLoaded int64
+	if opt.loadTree != "" {
+		res, snapshotLoaded, err = runOnSnapshot(ctx, opt, ds, cfg)
+	} else {
+		res, err = mrcc.RunDatasetContext(ctx, ds, cfg)
+	}
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	var snapshotSaved int64
+	if opt.saveTree != "" {
+		if snapshotSaved, err = mrcc.SaveTree(opt.saveTree, res.Tree); err != nil {
+			return fmt.Errorf("save-tree: %w", err)
+		}
+	}
+	if res.Stats != nil {
+		res.Stats.Counters.SnapshotSaveBytes = snapshotSaved
+		res.Stats.Counters.SnapshotLoadBytes = snapshotLoaded
+	}
 	if opt.memProfile != "" {
 		f, err := os.Create(opt.memProfile)
 		if err != nil {
@@ -215,6 +263,37 @@ func run(ctx context.Context, opt options, stdout io.Writer) error {
 		return writeLabels(opt.out, res.Labels)
 	}
 	return nil
+}
+
+// runOnSnapshot is the -load-tree path: restore the Counting-tree from
+// its snapshot, normalize the dataset the same way the full pipeline
+// would (the tree was built over the normalized embedding), and run
+// phases two and three only. It returns the snapshot's on-disk size
+// for the -stats IO line.
+func runOnSnapshot(ctx context.Context, opt options, ds *mrcc.Dataset, cfg mrcc.Config) (*mrcc.Result, int64, error) {
+	t, err := mrcc.LoadTree(opt.loadTree)
+	if err != nil {
+		return nil, 0, fmt.Errorf("load-tree: %w", err)
+	}
+	fi, err := os.Stat(opt.loadTree)
+	if err != nil {
+		return nil, 0, fmt.Errorf("load-tree: %w", err)
+	}
+	// The snapshot preserves the Used flags of the run that saved it;
+	// clustering consumes them, so clear them first.
+	t.ResetUsed()
+	work := ds
+	if !ds.IsNormalized() {
+		work = ds.Clone()
+		if _, _, err := work.Normalize(); err != nil {
+			return nil, 0, err
+		}
+	}
+	res, err := mrcc.RunDatasetOnTreeContext(ctx, t, work, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, fi.Size(), nil
 }
 
 type jsonCluster struct {

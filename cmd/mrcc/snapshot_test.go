@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaveThenLoadTree pins the CLI warm-start loop: one run saves its
+// Counting-tree, a second run restores it with -load-tree, and both
+// print the same clustering summary and labels.
+func TestSaveThenLoadTree(t *testing.T) {
+	in := writeTestCSV(t)
+	dir := filepath.Dir(in)
+	snap := filepath.Join(dir, "tree.snap")
+	coldLabels := filepath.Join(dir, "cold.csv")
+	warmLabels := filepath.Join(dir, "warm.csv")
+
+	code, coldOut, stderr := cli(t, "-in", in, "-save-tree", snap, "-out", coldLabels)
+	if code != 0 {
+		t.Fatalf("save run: exit %d, stderr: %s", code, stderr)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	code, warmOut, stderr := cli(t, "-in", in, "-load-tree", snap, "-out", warmLabels)
+	if code != 0 {
+		t.Fatalf("load run: exit %d, stderr: %s", code, stderr)
+	}
+	// The summary line includes timings; compare the cluster lines only.
+	coldClusters := coldOut[strings.Index(coldOut, "  cluster"):]
+	warmClusters := warmOut[strings.Index(warmOut, "  cluster"):]
+	if coldClusters != warmClusters {
+		t.Fatalf("warm-start summary diverged:\ncold:\n%s\nwarm:\n%s", coldClusters, warmClusters)
+	}
+	cold, err := os.ReadFile(coldLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := os.ReadFile(warmLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cold) != string(warm) {
+		t.Fatal("warm-start labels diverged from the cold run")
+	}
+}
+
+// TestExternalBuildCLI pins the -external path: same text output as
+// the in-memory run, spill traffic in the -stats table, and an empty
+// spill directory afterwards.
+func TestExternalBuildCLI(t *testing.T) {
+	in := writeTestCSV(t)
+	spill := t.TempDir()
+
+	code, inMemOut, stderr := cli(t, "-in", in)
+	if code != 0 {
+		t.Fatalf("in-memory run: exit %d, stderr: %s", code, stderr)
+	}
+	code, extOut, stderr := cli(t, "-in", in, "-external", spill, "-memlimit", "8192", "-stats")
+	if code != 0 {
+		t.Fatalf("external run: exit %d, stderr: %s", code, stderr)
+	}
+	inMemClusters := inMemOut[strings.Index(inMemOut, "  cluster"):]
+	if !strings.Contains(extOut, inMemClusters) {
+		t.Fatalf("external run's clusters diverged:\nin-memory:\n%s\nexternal:\n%s", inMemOut, extOut)
+	}
+	if !strings.Contains(extOut, "spill runs") {
+		t.Fatalf("-stats output misses the external-build line:\n%s", extOut)
+	}
+	entries, err := os.ReadDir(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("run left %d orphan entries in the spill dir", len(entries))
+	}
+}
+
+// TestSnapshotStatsLine pins the snapshot IO counters in -stats.
+func TestSnapshotStatsLine(t *testing.T) {
+	in := writeTestCSV(t)
+	snap := filepath.Join(filepath.Dir(in), "tree.snap")
+	code, saveOut, stderr := cli(t, "-in", in, "-save-tree", snap, "-stats")
+	if code != 0 {
+		t.Fatalf("save run: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(saveOut, "snapshot IO") {
+		t.Fatalf("-stats output misses the snapshot IO line after -save-tree:\n%s", saveOut)
+	}
+	code, loadOut, stderr := cli(t, "-in", in, "-load-tree", snap, "-stats")
+	if code != 0 {
+		t.Fatalf("load run: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(loadOut, "snapshot IO") {
+		t.Fatalf("-stats output misses the snapshot IO line after -load-tree:\n%s", loadOut)
+	}
+}
+
+// TestSnapshotFlagValidation pins the flag conflicts and typed load
+// failures.
+func TestSnapshotFlagValidation(t *testing.T) {
+	in := writeTestCSV(t)
+	for _, args := range [][]string{
+		{"-in", in, "-load-tree", "x.snap", "-external", t.TempDir()},
+		{"-in", in, "-load-tree", "x.snap", "-degrade", "-memlimit", "1048576"},
+		{"-in", in, "-load-tree", "x.snap", "-memlimit", "1048576"},
+		{"-in", in, "-external", t.TempDir(), "-degrade", "-memlimit", "1048576"},
+	} {
+		if code, _, _ := cli(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := cli(t, "-in", in, "-load-tree", bad)
+	if code != 1 {
+		t.Fatalf("corrupt snapshot: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "load-tree") {
+		t.Fatalf("corrupt snapshot error not attributed to -load-tree: %s", stderr)
+	}
+}

@@ -1,13 +1,26 @@
 // Streaming: MrCC over a growing dataset using the Counting-tree's
-// incremental insertion.
+// incremental insertion, with a snapshot hand-off at the end.
 //
-// The tree is the only data structure the method keeps (one counter per
-// occupied cell per resolution), so new points are absorbed by updating
-// counts — no re-scan of old data. After each batch the clustering
-// phases re-run over the refreshed tree; the paper's conclusion notes
-// that MrCC's statistical test gets *stronger* as data accumulates, and
-// this example shows exactly that: early batches are too sparse to
-// confirm clusters, later ones lock onto all of them.
+// The tree is the only state the method keeps between batches, and
+// since PR 5 it is a handful of flat arena columns (cell counts,
+// half-space counters, linkage) rather than a pointer structure — new
+// points are absorbed by bumping int32 counters along one root-to-leaf
+// descent, no re-scan of old data and no per-cell allocation. After
+// each batch the clustering phases re-run over the refreshed tree; the
+// paper's conclusion notes that MrCC's statistical test gets
+// *stronger* as data accumulates, and this example shows exactly that:
+// early batches are too sparse to confirm clusters, later ones lock
+// onto all of them.
+//
+// Because the arena is plain columns, the final tree ships as a
+// versioned snapshot (DESIGN.md §10): the example ends by saving it
+// with treeio.SaveFile, reloading, and reclustering on the loaded copy
+// — the same warm-start the mrcc CLI exposes as
+//
+//	mrcc -in data.csv -save-tree tree.snap        # build once
+//	mrcc -in data.csv -load-tree tree.snap ...    # recluster, no build
+//
+// (e.g. to sweep -alpha without re-counting the data).
 //
 // Run with: go run ./examples/streaming
 package main
@@ -16,11 +29,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"mrcc/internal/core"
 	"mrcc/internal/ctree"
 	"mrcc/internal/dataset"
 	"mrcc/internal/synthetic"
+	"mrcc/internal/treeio"
 )
 
 func main() {
@@ -36,7 +52,7 @@ func main() {
 		full.Points[i], full.Points[j] = full.Points[j], full.Points[i]
 	})
 
-	var tree *ctree.Tree
+	tree := ctree.New(full.Dims, core.DefaultH)
 	seen := dataset.New(full.Dims, full.Len())
 	const batch = 5000
 	for start := 0; start < full.Len(); start += batch {
@@ -45,13 +61,7 @@ func main() {
 			end = full.Len()
 		}
 		for _, p := range full.Points[start:end] {
-			if tree == nil {
-				t, err := ctree.Build(&dataset.Dataset{Dims: full.Dims, Points: [][]float64{p}}, core.DefaultH)
-				if err != nil {
-					log.Fatal(err)
-				}
-				tree = t
-			} else if err := tree.Insert(p); err != nil {
+			if err := tree.Insert(p); err != nil {
 				log.Fatal(err)
 			}
 			seen.Append(p)
@@ -71,4 +81,30 @@ func main() {
 			seen.Len(), res.NumClusters(),
 			100*float64(noise)/float64(seen.Len()), tree.MemoryBytes()/1024)
 	}
+
+	// Hand-off: persist the accumulated tree, reload it as another
+	// process would, and recluster without touching the raw stream
+	// again. The snapshot round-trips the arena bit-exactly, so the
+	// warm run reports the same clusters the last batch did.
+	dir, err := os.MkdirTemp("", "mrcc-streaming-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "tree.snap")
+	wrote, err := treeio.SaveFile(snap, tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := treeio.LoadFile(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded.ResetUsed()
+	warm, err := core.RunOnTree(loaded, seen, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot: %d KB on disk; warm-start recluster found %d clusters (no tree build)\n",
+		wrote/1024, warm.NumClusters())
 }

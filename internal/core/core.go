@@ -108,6 +108,25 @@ type Config struct {
 	// is recorded in Stats.DegradedH. Only when the smallest H still
 	// exceeds the limit does the run return a *ResourceError.
 	DegradeOnMemoryLimit bool
+	// ExternalSpillDir, when non-empty, builds the Counting-tree
+	// out-of-core (ctree.BuildExternal): quantized points are sorted in
+	// bounded-memory chunks, spilled as runs under this directory, and
+	// k-way merged into the tree. The resulting tree — and therefore the
+	// whole clustering Result — is identical to the in-memory build's.
+	// In this mode MemoryLimitBytes bounds the spill sort buffer rather
+	// than the tree footprint, so it composes with datasets whose sorted
+	// record stream is far larger than memory; it cannot be combined
+	// with DegradeOnMemoryLimit (the degrade ladder exists to shrink the
+	// tree, which the external build does not). The directory must exist
+	// and be writable; all spill state lives in a per-run temp
+	// subdirectory that is removed on every exit path (DESIGN.md §10).
+	ExternalSpillDir string
+	// KeepTree returns the built Counting-tree in Result.Tree so the
+	// caller can snapshot it (treeio.SaveFile) or rerun clustering on it
+	// (RunOnTree after Tree.ResetUsed — the run consumes the Used
+	// flags). Off by default: the tree is the pipeline's dominant
+	// allocation and holding it in the Result keeps it reachable.
+	KeepTree bool
 }
 
 // wantsStats reports whether the run needs a collector at all.
@@ -146,6 +165,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
+	}
+	if c.ExternalSpillDir != "" && c.DegradeOnMemoryLimit {
+		return errors.New("core: ExternalSpillDir and DegradeOnMemoryLimit are mutually exclusive: the external build bounds the sort buffer, not the tree, so there is nothing to degrade")
 	}
 	return nil
 }
@@ -218,6 +240,10 @@ type Result struct {
 	// memory deltas, pipeline counters); nil unless Config.CollectStats
 	// or Config.Progress enabled collection.
 	Stats *obs.Stats
+	// Tree is the Counting-tree the run clustered on; nil unless
+	// Config.KeepTree. Its Used flags were consumed by the β-search —
+	// call Tree.ResetUsed before reusing it with RunOnTree.
+	Tree *ctree.Tree
 }
 
 // Timings breaks a run into the paper's three phases.
@@ -316,6 +342,26 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (res *Resu
 // is identical to a run configured with the smaller H from the start —
 // and otherwise becomes a *ResourceError.
 func buildTreeBounded(ctx context.Context, ds *dataset.Dataset, cfg Config, progress ctree.ProgressFunc) (*ctree.Tree, int, error) {
+	if cfg.ExternalSpillDir != "" {
+		// Out-of-core build: MemoryLimitBytes bounds the spill sort
+		// buffer inside BuildExternal, not the finished tree, so neither
+		// the degrade ladder nor the authoritative footprint check
+		// applies (validate rejects the DegradeOnMemoryLimit combination
+		// up front). The produced tree is identical to the in-memory
+		// build's (external_test.go), so everything downstream is too.
+		t, err := ctree.BuildExternal(ds, cfg.H, ctree.ExternalBuildOptions{
+			BuildOptions: ctree.BuildOptions{
+				Progress:         progress,
+				Ctx:              ctx,
+				MemoryLimitBytes: cfg.MemoryLimitBytes,
+			},
+			SpillDir: cfg.ExternalSpillDir,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, cfg.H, nil
+	}
 	h := cfg.H
 	for {
 		t, err := ctree.BuildParallelOpts(ds, h, ctree.BuildOptions{
@@ -468,7 +514,15 @@ func runOnTreeAbortable(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs
 	col.SetTreeBytes(treeBytes)
 	runs, runPoints := t.BatchRuns()
 	col.SetArenaStats(t.ArenaBytes(), t.ArenaGrows(), runs, runPoints)
+	if spillRuns, spillBytes := t.SpillStats(); spillRuns > 0 {
+		col.SetSpillStats(spillRuns, spillBytes)
+	}
+	var keep *ctree.Tree
+	if cfg.KeepTree {
+		keep = t
+	}
 	return &Result{
+		Tree:            keep,
 		Betas:           betas,
 		Clusters:        clusters,
 		Labels:          labels,

@@ -101,6 +101,12 @@ type Tree struct {
 	runs      int64
 	runPoints int64
 
+	// spillRuns/spillBytes record the external build's disk traffic
+	// (external.go): sorted runs spilled and bytes written. Zero for
+	// in-memory builds and loaded snapshots.
+	spillRuns  int64
+	spillBytes int64
+
 	// idxMu guards the lazily built level indexes (levelindex.go);
 	// indexes[h-1] is the flat snapshot of level h, nil until
 	// EnsureLevelIndexes runs, invalidated by Insert and MergeFrom.
@@ -234,6 +240,14 @@ func (t *Tree) ensureChild(par Ref, loc uint64) (Ref, bool) {
 		return r, false
 	}
 	r := t.pushCell(par, loc, t.level[par]+1)
+	t.linkChild(par, r)
+	return r, true
+}
+
+// linkChild appends the freshly stored cell r to par's child chain and
+// keeps the child-resolution structures (inline chain or table) in
+// step. The caller guarantees par has no child with r's Loc yet.
+func (t *Tree) linkChild(par, r Ref) {
 	if t.lastChild[par] < 0 {
 		t.firstChild[par] = r
 	} else {
@@ -246,7 +260,6 @@ func (t *Tree) ensureChild(par Ref, loc uint64) (Ref, bool) {
 	} else if int(t.childCount[par]) > inlineChildren {
 		t.buildTab(par)
 	}
-	return r, true
 }
 
 // buildTab promotes an inline node to an open-addressing child table,
@@ -396,6 +409,12 @@ func (t *Tree) ArenaBytes() uint64 { return t.MemoryBytes() }
 // ArenaGrows returns the number of arena growth events (column
 // reallocation), accumulated across merged shards.
 func (t *Tree) ArenaGrows() int64 { return t.grows }
+
+// SpillStats returns the external build's disk-traffic statistics:
+// the number of sorted runs spilled and the bytes written to the
+// spill files. Both are zero for trees built in memory or loaded from
+// a snapshot.
+func (t *Tree) SpillStats() (runs, bytes int64) { return t.spillRuns, t.spillBytes }
 
 // BatchRuns returns the sorted-batch insertion statistics: runs is the
 // number of maximal groups of consecutive (path-sorted) points sharing

@@ -113,9 +113,20 @@ func (b *batchInserter) keysEqual(a, c int32) bool {
 
 // extractLocs unpacks point pi's per-level locs into cand[1..H-1].
 func (b *batchInserter) extractLocs(pi int32) {
+	if b.packed {
+		b.setCandFromKey(b.key[pi : pi+1])
+		return
+	}
+	b.setCandFromKey(b.key[int(pi)*b.words : (int(pi)+1)*b.words])
+}
+
+// setCandFromKey unpacks a path key — one packed word, or H-1 loc
+// words — into cand[1..H-1]. The external merge (external.go) feeds
+// keys read back from spill records through this.
+func (b *batchInserter) setCandFromKey(kw []uint64) {
 	H := b.t.H
 	if b.packed {
-		k := b.key[pi]
+		k := kw[0]
 		d := uint(b.t.D)
 		for h := H - 1; h >= 1; h-- {
 			b.cand[h] = k & b.t.dmask
@@ -123,10 +134,100 @@ func (b *batchInserter) extractLocs(pi int32) {
 		}
 		return
 	}
-	kw := b.key[int(pi)*b.words : (int(pi)+1)*b.words]
 	for h := 1; h <= H-1; h++ {
 		b.cand[h] = kw[h-1]
 	}
+}
+
+// quantizeLevelH validates one point and writes its level-H grid
+// coordinates into qi; index is the point's position in the slice the
+// caller reports errors against.
+func quantizeLevelH(p []float64, d, H int, qi []uint64, index int) error {
+	if len(p) != d {
+		return fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", index, len(p), d)
+	}
+	scale := float64(uint64(1) << uint(H))
+	for j, v := range p {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			return fmt.Errorf("ctree: point %d: ctree: axis %d value %g outside [0,1): dataset must be normalized", index, j, v)
+		}
+		qi[j] = uint64(v * scale)
+	}
+	return nil
+}
+
+// packedPathKey packs a quantized point's level-1..H-1 path into one
+// uint64, level-major; the caller guarantees d·(H-1) <= 64.
+func packedPathKey(qi []uint64, d, H int) uint64 {
+	var k uint64
+	for h := 1; h <= H-1; h++ {
+		var loc uint64
+		for j := 0; j < d; j++ {
+			loc |= ((qi[j] >> uint(H-h)) & 1) << uint(j)
+		}
+		k = k<<uint(d) | loc
+	}
+	return k
+}
+
+// pathKeyWords writes a quantized point's per-level locs into
+// kw[0..H-2] (kw[h-1] is the level-h loc) — the multi-word key layout.
+func pathKeyWords(qi []uint64, d, H int, kw []uint64) {
+	for h := 1; h <= H-1; h++ {
+		var loc uint64
+		for j := 0; j < d; j++ {
+			loc |= ((qi[j] >> uint(H-h)) & 1) << uint(j)
+		}
+		kw[h-1] = loc
+	}
+}
+
+// leafParity returns the level-H parity word of a quantized point: bit
+// j is the low bit of the axis-j grid coordinate — the input of the
+// deepest stored level's half-space update.
+func leafParity(qi []uint64, d int) uint64 {
+	var leaf uint64
+	for j := 0; j < d; j++ {
+		leaf |= (qi[j] & 1) << uint(j)
+	}
+	return leaf
+}
+
+// countRunAt counts one run of cnt points sharing the path in
+// cand[1..H-1]: it resumes the carry-over descent stack at the first
+// diverging level, bumps N at every level and the level-1..H-2
+// half-space counters by cnt, and returns the deepest cell's P row so
+// the caller can apply the per-point leaf-parity updates. Pass 3 of
+// insert and the external merge share it; callers must present paths
+// in sorted order for the carry-over to be correct.
+func (b *batchInserter) countRunAt(cnt int32) []int32 {
+	t := b.t
+	H := t.H
+	div := 1
+	for div <= b.have && b.cand[div] == b.locs[div] {
+		div++
+	}
+	for h := div; h <= H-1; h++ {
+		r, _ := t.ensureChild(b.refs[h-1], b.cand[h])
+		b.refs[h] = r
+		b.locs[h] = b.cand[h]
+	}
+	b.have = H - 1
+	// N at every level gets the whole run at once; so do the half-space
+	// counters of levels 1..H-2, whose update depends only on the run's
+	// (shared) next-level loc.
+	for h := 1; h <= H-1; h++ {
+		t.n[b.refs[h]] += cnt
+	}
+	for h := 1; h <= H-2; h++ {
+		row := t.PRow(b.refs[h])
+		for ms := ^b.locs[h+1] & t.dmask; ms != 0; ms &= ms - 1 {
+			row[bits.TrailingZeros64(ms)] += cnt
+		}
+	}
+	t.runs++
+	t.runPoints += int64(cnt)
+	return t.PRow(b.refs[H-1])
 }
 
 // insert counts one chunk of points into the tree. base is the chunk's
@@ -162,37 +263,15 @@ func (b *batchInserter) insert(points [][]float64, base int) error {
 
 	// Pass 1: validate + quantize every point at level H, derive the
 	// path sort key (level-major loc words).
-	scale := float64(uint64(1) << uint(H))
 	for i, p := range points {
-		if len(p) != d {
-			return fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", base+i, len(p), d)
-		}
 		qi := b.q[i*d : (i+1)*d]
-		for j, v := range p {
-			if v < 0 || v >= 1 || math.IsNaN(v) {
-				return fmt.Errorf("ctree: point %d: ctree: axis %d value %g outside [0,1): dataset must be normalized", base+i, j, v)
-			}
-			qi[j] = uint64(v * scale)
+		if err := quantizeLevelH(p, d, H, qi, base+i); err != nil {
+			return err
 		}
 		if b.packed {
-			var k uint64
-			for h := 1; h <= H-1; h++ {
-				var loc uint64
-				for j := 0; j < d; j++ {
-					loc |= ((qi[j] >> uint(H-h)) & 1) << uint(j)
-				}
-				k = k<<uint(d) | loc
-			}
-			b.key[i] = k
+			b.key[i] = packedPathKey(qi, d, H)
 		} else {
-			kw := b.key[i*b.words : (i+1)*b.words]
-			for h := 1; h <= H-1; h++ {
-				var loc uint64
-				for j := 0; j < d; j++ {
-					loc |= ((qi[j] >> uint(H-h)) & 1) << uint(j)
-				}
-				kw[h-1] = loc
-			}
+			pathKeyWords(qi, d, H, b.key[i*b.words:(i+1)*b.words])
 		}
 		b.ord[i] = int32(i)
 	}
@@ -213,41 +292,13 @@ func (b *batchInserter) insert(points [][]float64, base int) error {
 		}
 		cnt := int32(j - i)
 		b.extractLocs(leader)
-		div := 1
-		for div <= b.have && b.cand[div] == b.locs[div] {
-			div++
-		}
-		for h := div; h <= H-1; h++ {
-			r, _ := t.ensureChild(b.refs[h-1], b.cand[h])
-			b.refs[h] = r
-			b.locs[h] = b.cand[h]
-		}
-		b.have = H - 1
-		// N at every level gets the whole run at once; so do the
-		// half-space counters of levels 1..H-2, whose update depends
-		// only on the run's (shared) next-level loc.
-		for h := 1; h <= H-1; h++ {
-			t.n[b.refs[h]] += cnt
-		}
-		for h := 1; h <= H-2; h++ {
-			row := t.PRow(b.refs[h])
-			for ms := ^b.locs[h+1] & t.dmask; ms != 0; ms &= ms - 1 {
-				row[bits.TrailingZeros64(ms)] += cnt
-			}
-		}
 		// The deepest stored level's half-space counters depend on each
 		// point's level-H parity: per point, but no tree traversal.
-		deep := t.PRow(b.refs[H-1])
+		deep := b.countRunAt(cnt)
 		for k := i; k < j; k++ {
 			qk := b.q[int(b.ord[k])*d : (int(b.ord[k])+1)*d]
-			var leaf uint64
-			for jj := 0; jj < d; jj++ {
-				leaf |= (qk[jj] & 1) << uint(jj)
-			}
-			popcountLower(deep, leaf, t.dmask)
+			popcountLower(deep, leafParity(qk, d), t.dmask)
 		}
-		t.runs++
-		t.runPoints += int64(cnt)
 		i = j
 	}
 	t.Eta += m

@@ -1,0 +1,445 @@
+// Out-of-core Counting-tree construction: spill-and-merge external
+// sorting of point paths (DESIGN.md §10).
+//
+// The in-memory build's whole trick is that path-SORTED points count
+// into the tree with near-sequential access (batch.go). BuildExternal
+// keeps the trick but takes the sort out of core: points are quantized
+// and keyed in chunks (the same quantize-and-key pass the in-memory
+// build runs), collected into a bounded sort buffer, and each full
+// buffer is sorted and spilled to disk as one run of fixed-size
+// records — the path key words plus the point's level-H parity word,
+// everything the counting descent needs, so the raw coordinates are
+// never read twice. A k-way heap merge then streams the runs back in
+// global path order and feeds the existing carry-over descent
+// (batchInserter.countRunAt), grouping equal-path records so shared
+// prefixes are still bumped once per group rather than once per point.
+//
+// The memory budget bounds the SORT BUFFER (the build's only
+// η-proportional allocation), not the tree: a dataset whose record
+// stream is ~10× the budget builds in ~10 sorted runs and merges in
+// one pass. The resulting tree is cell-for-cell identical to the
+// in-memory build's, with identical MemoryBytes (count-determined
+// arena sizing); only iteration order and build statistics differ —
+// exactly the equivalence class shard merging already established.
+//
+// Spill files live in a private directory under the caller's SpillDir
+// (or the system temp directory), created by MkdirTemp and removed on
+// every exit path — success, error, cancellation or injected fault —
+// so an aborted build leaves no orphan spill files behind.
+package ctree
+
+import (
+	"bufio"
+	"container/heap"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mrcc/internal/dataset"
+	"mrcc/internal/fault"
+)
+
+// ExternalBuildOptions configures an out-of-core build. The embedded
+// BuildOptions contributes Ctx, Progress and MemoryLimitBytes; Workers
+// is ignored (the spill and merge phases are single sequential passes
+// whose cost is dominated by disk traffic).
+type ExternalBuildOptions struct {
+	BuildOptions
+	// SpillDir is the directory the run files' private temp directory
+	// is created under; empty selects the system temp directory. It
+	// must exist and be writable.
+	SpillDir string
+	// RunPoints caps the number of points per sorted run, overriding
+	// the MemoryLimitBytes derivation when positive. Tests use it to
+	// force exact run counts; production callers should set the memory
+	// budget instead.
+	RunPoints int
+}
+
+// ExternalRecordBytes returns the in-memory sort-buffer cost of one
+// point during BuildExternal (spill record plus arrival index), so
+// callers can size MemoryLimitBytes relative to a dataset's record
+// stream: n·ExternalRecordBytes(d, H) is the stream an external build
+// sorts.
+func ExternalRecordBytes(d, H int) int {
+	_, recWords := spillRecordWords(d, H)
+	return recWords*8 + 4
+}
+
+// spillRecordWords returns the uint64 words per spill record for a
+// d-dimensional tree at H resolutions: the path key (one packed word
+// when d·(H-1) <= 64, else H-1 loc words) plus the leaf-parity word.
+func spillRecordWords(d, H int) (keyWords, recordWords int) {
+	keyWords = 1
+	if d*(H-1) > 64 {
+		keyWords = H - 1
+	}
+	return keyWords, keyWords + 1
+}
+
+// BuildExternal constructs the Counting-tree for a dataset whose sort
+// state does not fit in memory: quantize-and-spill into sorted runs,
+// then a k-way merge feeding the sorted-batch counting descent. It
+// honors BuildOptions.Ctx (polled every chunk of both phases),
+// Progress (merged points of total) and MemoryLimitBytes (bounds the
+// sort buffer; see the package comment of this file — the tree itself
+// is not capped here). The tree it returns is cell-for-cell identical
+// to Build/BuildParallel on the same data, with identical MemoryBytes.
+func BuildExternal(ds *dataset.Dataset, H int, opt ExternalBuildOptions) (*Tree, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("ctree: empty dataset")
+	}
+	if ds.Dims > MaxDims {
+		return nil, fmt.Errorf("ctree: dimensionality %d exceeds the maximum %d", ds.Dims, MaxDims)
+	}
+	if H < MinLevels {
+		return nil, fmt.Errorf("ctree: H must be >= %d, got %d", MinLevels, H)
+	}
+	if H > MaxLevels {
+		return nil, fmt.Errorf("ctree: H must be <= %d, got %d", MaxLevels, H)
+	}
+	n := ds.Len()
+	if n > MaxPoints {
+		return nil, fmt.Errorf("ctree: %d points exceed the per-tree maximum %d", n, MaxPoints)
+	}
+	d := ds.Dims
+	keyWords, recWords := spillRecordWords(d, H)
+	runPoints := opt.RunPoints
+	if runPoints <= 0 {
+		if opt.MemoryLimitBytes > 0 {
+			// The sort buffer holds recWords uint64 words plus one int32
+			// permutation entry per buffered point.
+			per := uint64(recWords*8 + 4)
+			runPoints = int(opt.MemoryLimitBytes / per)
+		} else {
+			runPoints = n // no budget: one run, still spilled (uniform path)
+		}
+		// A budget below one chunk's worth of records would make runs
+		// smaller than the checkpoint interval; one chunk is the floor
+		// (the derivation is best-effort, an explicit RunPoints is not).
+		if runPoints < buildReportEvery {
+			runPoints = buildReportEvery
+		}
+	}
+	if runPoints < 1 {
+		runPoints = 1
+	}
+	if runPoints > n {
+		runPoints = n
+	}
+
+	dir, err := os.MkdirTemp(opt.SpillDir, "mrcc-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("ctree: creating spill directory: %w", err)
+	}
+	// Every exit path — success included — removes the private spill
+	// directory: run files only matter between the two phases below.
+	defer os.RemoveAll(dir)
+
+	runs, spilled, err := spillRuns(ds, H, dir, runPoints, keyWords, recWords, &opt.BuildOptions)
+	if err != nil {
+		return nil, err
+	}
+	t, err := mergeRuns(d, H, n, runs, keyWords, recWords, &opt.BuildOptions)
+	if err != nil {
+		return nil, err
+	}
+	t.spillRuns = int64(len(runs))
+	t.spillBytes = spilled
+	return t, nil
+}
+
+// checkExternal is the per-chunk checkpoint of both external phases:
+// an armed fault-injection point (test builds only), then context
+// cancellation.
+func checkExternal(point string, ctx context.Context) error {
+	if err := fault.Inject(point); err != nil {
+		return err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spillRuns quantizes and keys the dataset in chunks, sorts each full
+// buffer of runPoints records by (path key, arrival order) and spills
+// it as one run file. It returns the run paths (each annotated with
+// its record count) and the total bytes written.
+func spillRuns(ds *dataset.Dataset, H int, dir string, runPoints, keyWords, recWords int, opt *BuildOptions) ([]spillRun, int64, error) {
+	d := ds.Dims
+	buf := make([]uint64, 0, runPoints*recWords)
+	ord := make([]int32, 0, runPoints)
+	qi := make([]uint64, d)
+	kw := make([]uint64, keyWords)
+	var runs []spillRun
+	var spilled int64
+
+	flush := func() error {
+		if len(ord) == 0 {
+			return nil
+		}
+		path := filepath.Join(dir, fmt.Sprintf("run-%04d.spill", len(runs)))
+		written, err := writeRun(path, buf, ord, keyWords, recWords)
+		if err != nil {
+			return fmt.Errorf("ctree: spilling run %d: %w", len(runs), err)
+		}
+		runs = append(runs, spillRun{path: path, records: len(ord)})
+		spilled += written
+		buf = buf[:0]
+		ord = ord[:0]
+		return nil
+	}
+
+	for i, p := range ds.Points {
+		if err := quantizeLevelH(p, d, H, qi, i); err != nil {
+			return nil, 0, err
+		}
+		if keyWords == 1 {
+			buf = append(buf, packedPathKey(qi, d, H))
+		} else {
+			pathKeyWords(qi, d, H, kw)
+			buf = append(buf, kw...)
+		}
+		buf = append(buf, leafParity(qi, d))
+		ord = append(ord, int32(len(ord)))
+		if len(ord) == runPoints {
+			if err := flush(); err != nil {
+				return nil, 0, err
+			}
+		}
+		if (i+1)%buildReportEvery == 0 {
+			if err := checkExternal(fault.ExternalSpill, opt.Ctx); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, 0, err
+	}
+	return runs, spilled, nil
+}
+
+// spillRun names one sorted run file and its record count.
+type spillRun struct {
+	path    string
+	records int
+}
+
+// writeRun sorts the buffered records by (path key lexicographic,
+// arrival index) and writes them to path: recWords little-endian
+// uint64 words per record, no framing (the caller tracks the record
+// count).
+func writeRun(path string, buf []uint64, ord []int32, keyWords, recWords int) (int64, error) {
+	sort.Slice(ord, func(x, y int) bool {
+		a, c := ord[x], ord[y]
+		ka := buf[int(a)*recWords : int(a)*recWords+keyWords]
+		kc := buf[int(c)*recWords : int(c)*recWords+keyWords]
+		for k := 0; k < keyWords; k++ {
+			if ka[k] != kc[k] {
+				return ka[k] < kc[k]
+			}
+		}
+		return a < c
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<18)
+	var scratch [8]byte
+	for _, rec := range ord {
+		words := buf[int(rec)*recWords : (int(rec)+1)*recWords]
+		for _, w := range words {
+			binary.LittleEndian.PutUint64(scratch[:], w)
+			if _, err := bw.Write(scratch[:]); err != nil {
+				f.Close()
+				return 0, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return int64(len(ord)) * int64(recWords) * 8, nil
+}
+
+// runReader streams one spill run's records; rec holds the current
+// record (keyWords path words + the leaf word).
+type runReader struct {
+	f         *os.File
+	br        *bufio.Reader
+	rec       []uint64
+	remaining int
+	scratch   []byte
+}
+
+func openRun(r spillRun, recWords int) (*runReader, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, err
+	}
+	return &runReader{
+		f:         f,
+		br:        bufio.NewReaderSize(f, 1<<18),
+		rec:       make([]uint64, recWords),
+		remaining: r.records,
+		scratch:   make([]byte, recWords*8),
+	}, nil
+}
+
+// next advances to the run's next record; ok is false when the run is
+// exhausted.
+func (r *runReader) next() (ok bool, err error) {
+	if r.remaining == 0 {
+		return false, nil
+	}
+	if _, err := io.ReadFull(r.br, r.scratch); err != nil {
+		return false, fmt.Errorf("reading spill record: %w", err)
+	}
+	for i := range r.rec {
+		r.rec[i] = binary.LittleEndian.Uint64(r.scratch[i*8:])
+	}
+	r.remaining--
+	return true, nil
+}
+
+// runHeap is the k-way merge front: a min-heap of run indexes ordered
+// by the runs' current record keys (run index as the tie-break, so the
+// merge order is deterministic).
+type runHeap struct {
+	readers  []*runReader
+	keyWords int
+	order    []int
+}
+
+func (h *runHeap) Len() int { return len(h.order) }
+
+func (h *runHeap) Less(x, y int) bool {
+	a, c := h.readers[h.order[x]], h.readers[h.order[y]]
+	for k := 0; k < h.keyWords; k++ {
+		if a.rec[k] != c.rec[k] {
+			return a.rec[k] < c.rec[k]
+		}
+	}
+	return h.order[x] < h.order[y]
+}
+
+func (h *runHeap) Swap(x, y int) { h.order[x], h.order[y] = h.order[y], h.order[x] }
+
+func (h *runHeap) Push(v any) { h.order = append(h.order, v.(int)) }
+
+func (h *runHeap) Pop() any {
+	v := h.order[len(h.order)-1]
+	h.order = h.order[:len(h.order)-1]
+	return v
+}
+
+// mergeRuns streams the sorted runs back in global path order and
+// counts them into a fresh tree through the carry-over descent.
+// Records sharing one path are grouped (bounded by buildReportEvery
+// leaf words of buffering) so shared-prefix counters are bumped once
+// per group, exactly like the in-memory batch inserter.
+func mergeRuns(d, H, n int, runs []spillRun, keyWords, recWords int, opt *BuildOptions) (*Tree, error) {
+	readers := make([]*runReader, len(runs))
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.f.Close()
+			}
+		}
+	}()
+	h := &runHeap{readers: readers, keyWords: keyWords}
+	for i, run := range runs {
+		r, err := openRun(run, recWords)
+		if err != nil {
+			return nil, fmt.Errorf("ctree: opening spill run %d: %w", i, err)
+		}
+		readers[i] = r
+		ok, err := r.next()
+		if err != nil {
+			return nil, fmt.Errorf("ctree: spill run %d: %w", i, err)
+		}
+		if ok {
+			h.order = append(h.order, i)
+		}
+	}
+	heap.Init(h)
+
+	t := New(d, H)
+	ins := newBatchInserter(t)
+	curKey := make([]uint64, keyWords)
+	leafs := make([]uint64, 0, buildReportEvery)
+	inGroup := false
+	flush := func() {
+		if len(leafs) == 0 {
+			return
+		}
+		deep := ins.countRunAt(int32(len(leafs)))
+		for _, leaf := range leafs {
+			popcountLower(deep, leaf, t.dmask)
+		}
+		leafs = leafs[:0]
+	}
+	processed := 0
+	for h.Len() > 0 {
+		r := readers[h.order[0]]
+		if !inGroup || !wordsEqual(curKey, r.rec[:keyWords]) {
+			flush()
+			copy(curKey, r.rec[:keyWords])
+			ins.setCandFromKey(curKey)
+			inGroup = true
+		}
+		leafs = append(leafs, r.rec[keyWords])
+		if len(leafs) == cap(leafs) {
+			flush()
+		}
+		ok, err := r.next()
+		if err != nil {
+			return nil, fmt.Errorf("ctree: spill run %d: %w", h.order[0], err)
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+		processed++
+		if processed%buildReportEvery == 0 {
+			if err := checkExternal(fault.ExternalMerge, opt.Ctx); err != nil {
+				return nil, err
+			}
+			if opt.Progress != nil {
+				opt.Progress(processed, n)
+			}
+		}
+	}
+	flush()
+	if processed != n {
+		return nil, fmt.Errorf("ctree: spill runs replayed %d records, want %d", processed, n)
+	}
+	t.Eta = n
+	if opt.Progress != nil {
+		opt.Progress(n, n)
+	}
+	return t, nil
+}
+
+// wordsEqual compares two key slices of equal length.
+func wordsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchSnapshot pins the bench-snapshot record shape: populated
+// save/load throughputs, a plausible snapshot size, and an external
+// build that actually spilled under the stream/10 budget (the record
+// only exists if the equivalence checks inside BenchSnapshot held).
+func TestBenchSnapshot(t *testing.T) {
+	// Scale 0.1 keeps the run fast but stays above one checkpoint
+	// chunk (8192 points), so the stream/10 budget actually forces
+	// multiple spill runs (smaller runs are floored to one chunk).
+	rec, err := BenchSnapshot(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Points != 10000 || rec.Dims != 15 {
+		t.Errorf("shape %dx%d, want 10000x15", rec.Points, rec.Dims)
+	}
+	if rec.SnapshotBytes <= 0 || rec.CellCount <= 0 {
+		t.Errorf("snapshot size/cells missing: %+v", rec)
+	}
+	if rec.SaveBytesPerSec <= 0 || rec.LoadBytesPerSec <= 0 {
+		t.Errorf("throughputs missing: %+v", rec)
+	}
+	if rec.SortBudgetBytes == 0 || rec.SortBudgetBytes*10 > uint64(rec.StreamBytes)+10 {
+		t.Errorf("sort budget %d is not ~stream/10 of %d", rec.SortBudgetBytes, rec.StreamBytes)
+	}
+	if rec.SpillRuns < 2 || rec.SpillBytes <= 0 {
+		t.Errorf("external build did not spill: runs=%d bytes=%d", rec.SpillRuns, rec.SpillBytes)
+	}
+	if rec.ExternalBuildSeconds <= 0 || rec.InMemoryBuildSeconds <= 0 {
+		t.Errorf("build timings missing: %+v", rec)
+	}
+}
+
+// TestWriteBenchSnapshot pins the JSON artifact shape CI archives.
+func TestWriteBenchSnapshot(t *testing.T) {
+	rec, err := BenchSnapshot(Options{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchSnapshot(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchSnapshotRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.SnapshotBytes != rec.SnapshotBytes || back.SpillRuns != rec.SpillRuns {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}

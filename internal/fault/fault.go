@@ -22,6 +22,12 @@ const (
 	BuildChunk = "ctree.build.chunk"
 	// BuildMerge fires before each shard merge of the parallel build.
 	BuildMerge = "ctree.build.merge"
+	// ExternalSpill fires inside the external build's spill phase, once
+	// per chunk of quantized points (ctree.BuildExternal).
+	ExternalSpill = "ctree.external.spill"
+	// ExternalMerge fires inside the external build's k-way merge, once
+	// per chunk of merged records (ctree.BuildExternal).
+	ExternalMerge = "ctree.external.merge"
 	// ScanPass fires at the top of each β-search restart pass.
 	ScanPass = "core.scan.pass"
 	// ScanLevel fires before each per-level convolution-cache build.

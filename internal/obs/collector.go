@@ -192,6 +192,19 @@ func (c *Collector) SetArenaStats(arenaBytes uint64, grows, runs, runPoints int6
 	c.mu.Unlock()
 }
 
+// SetSpillStats records an out-of-core build's disk traffic: the
+// number of sorted runs spilled and the bytes written to the spill
+// files (zero for in-memory builds, which never call this).
+func (c *Collector) SetSpillStats(runs, bytes int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Counters.SpillRuns = runs
+	c.stats.Counters.SpillBytes = bytes
+	c.mu.Unlock()
+}
+
 // CountCells records the stored-cell count of one tree level.
 func (c *Collector) CountCells(level int, n int64) {
 	if c == nil {

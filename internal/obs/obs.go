@@ -153,6 +153,16 @@ type Counters struct {
 	// batching win over per-point descents.
 	BatchRuns      int64 `json:"batchRuns,omitempty"`
 	BatchRunPoints int64 `json:"batchRunPoints,omitempty"`
+	// SpillRuns / SpillBytes describe an out-of-core tree build
+	// (ctree.BuildExternal): sorted runs spilled to disk and the bytes
+	// they carried. Zero for in-memory builds.
+	SpillRuns  int64 `json:"spillRuns,omitempty"`
+	SpillBytes int64 `json:"spillBytes,omitempty"`
+	// SnapshotSaveBytes / SnapshotLoadBytes count tree snapshot IO
+	// (treeio) performed around the run by the CLI's -save-tree and
+	// -load-tree modes.
+	SnapshotSaveBytes int64 `json:"snapshotSaveBytes,omitempty"`
+	SnapshotLoadBytes int64 `json:"snapshotLoadBytes,omitempty"`
 	// BetaTests / BetaAccepted / BetaRejected count the statistical
 	// tests attempted and their outcomes.
 	BetaTests    int64 `json:"betaTests"`
@@ -302,6 +312,14 @@ func (s *Stats) Format() string {
 		}
 		fmt.Fprintf(&b, "arena: %d KB in %d grows; batch insert: %d runs, %d points (mean run %.1f)\n",
 			s.ArenaBytes/1024, c.ArenaGrows, c.BatchRuns, c.BatchRunPoints, meanRun)
+	}
+	if c.SpillRuns > 0 {
+		fmt.Fprintf(&b, "external build: %d spill runs, %d KB written\n",
+			c.SpillRuns, c.SpillBytes/1024)
+	}
+	if c.SnapshotSaveBytes > 0 || c.SnapshotLoadBytes > 0 {
+		fmt.Fprintf(&b, "snapshot IO: %d KB saved, %d KB loaded\n",
+			c.SnapshotSaveBytes/1024, c.SnapshotLoadBytes/1024)
 	}
 	fmt.Fprintf(&b, "mask evals: %d in %d passes; β-tests: %d (%d accepted, %d rejected)\n",
 		c.MaskEvals, c.ScanPasses, c.BetaTests, c.BetaAccepted, c.BetaRejected)

@@ -1,0 +1,104 @@
+// Byte views over the arena columns. On a little-endian host — the
+// snapshot byte order — a column's bytes ARE its file representation,
+// so Save writes and Load reads straight through an unsafe.Slice alias
+// with no copy. On a big-endian host the multi-byte columns (loc, n,
+// parent, p) go through a per-element shuffle instead: the view
+// functions return an encoded copy (what Save writes and Load fills),
+// and decodeInPlace folds a filled view back into the typed column.
+// Single-byte columns (used, level) have no byte order and always
+// alias.
+package treeio
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"mrcc/internal/ctree"
+)
+
+// hostLittleEndian reports whether this process stores multi-byte
+// integers little-endian (amd64, arm64, riscv64, wasm, ...).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// u64Bytes returns s's little-endian file representation: an alias of
+// its memory on a little-endian host, an encoded copy otherwise.
+func u64Bytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	b := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	return b
+}
+
+// i32Bytes is u64Bytes for int32 columns (n, p).
+func i32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	b := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return b
+}
+
+// refBytes is i32Bytes for the parent column (Ref is int32).
+func refBytes(s []ctree.Ref) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	b := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return b
+}
+
+// boolBytes aliases a bool column's memory: Go bools are one byte, so
+// there is no byte order to translate. Load validates the bytes are
+// 0/1 before the alias is read as bools.
+func boolBytes(s []bool) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// decodeInPlace folds the filled byte views back into the typed
+// columns after a load. On a little-endian host the views alias the
+// columns and nothing remains to do.
+func decodeInPlace(c ctree.Columns, views [numColumns][]byte) {
+	if hostLittleEndian {
+		return
+	}
+	for i := range c.Loc {
+		c.Loc[i] = binary.LittleEndian.Uint64(views[0][i*8:])
+	}
+	for i := range c.N {
+		c.N[i] = int32(binary.LittleEndian.Uint32(views[1][i*4:]))
+	}
+	for i := range c.Used {
+		c.Used[i] = views[2][i] == 1
+	}
+	for i := range c.Parent {
+		c.Parent[i] = ctree.Ref(binary.LittleEndian.Uint32(views[4][i*4:]))
+	}
+	for i := range c.P {
+		c.P[i] = int32(binary.LittleEndian.Uint32(views[5][i*4:]))
+	}
+}

@@ -1,0 +1,168 @@
+package treeio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"mrcc/internal/ctree"
+)
+
+// fuzzSeedSnapshot builds a small valid snapshot for the fuzz corpus.
+func fuzzSeedSnapshot() []byte {
+	rng := rand.New(rand.NewSource(77))
+	ds := layouts["clumped"](rng, 3, 120)
+	tr, err := ctree.Build(ds, 4)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Save(&buf, tr); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// fixChecksums recomputes the column CRC directory and the header CRC
+// over a mutated snapshot, so corpus entries that corrupt the PAYLOAD
+// (out-of-range refs, impossible counts) get past the checksum layer
+// and exercise the structural revalidation.
+func fixChecksums(snap []byte) []byte {
+	off := uint64(HeaderSize)
+	for i := 0; i < numColumns; i++ {
+		dir := snap[48+i*24:]
+		size := binary.LittleEndian.Uint64(dir[8:16])
+		col := snap[off : off+size]
+		binary.LittleEndian.PutUint32(dir[16:20], crc32.Checksum(col, castagnoli))
+		off += size
+	}
+	binary.LittleEndian.PutUint32(snap[44:48], 0)
+	binary.LittleEndian.PutUint32(snap[44:48], crc32.Checksum(snap[:HeaderSize], castagnoli))
+	return snap
+}
+
+// FuzzLoadTree throws arbitrary bytes at the snapshot loader. The
+// contract under fuzzing: LoadBytes either returns a tree — in which
+// case the input was a canonical snapshot and re-saving the tree
+// reproduces it byte for byte — or a typed *FormatError. Never a
+// panic, never an untyped error, never a tree from corrupt bytes.
+func FuzzLoadTree(f *testing.F) {
+	valid := fuzzSeedSnapshot()
+	f.Add(append([]byte(nil), valid...))
+	// Truncated header.
+	f.Add(append([]byte(nil), valid[:100]...))
+	// Truncated payload.
+	f.Add(append([]byte(nil), valid[:HeaderSize+37]...))
+	// Flipped version byte.
+	badVersion := append([]byte(nil), valid...)
+	badVersion[8] ^= 0xff
+	f.Add(badVersion)
+	// Bad column checksum (payload flip, directory left stale).
+	badSum := append([]byte(nil), valid...)
+	badSum[HeaderSize+8] ^= 0x01
+	f.Add(badSum)
+	// Column-length mismatch: directory size of column n inflated (header
+	// CRC fixed up so the size check itself is reached).
+	badLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(badLen[48+1*24+8:], uint64(len(valid)))
+	binary.LittleEndian.PutUint32(badLen[44:48], 0)
+	binary.LittleEndian.PutUint32(badLen[44:48], crc32.Checksum(badLen[:HeaderSize], castagnoli))
+	f.Add(badLen)
+	// Out-of-range parent ref in row 1, checksums fixed up so the
+	// structural revalidation is what must refuse it.
+	badRef := append([]byte(nil), valid...)
+	rows := binary.LittleEndian.Uint64(badRef[24:32])
+	parentOff := binary.LittleEndian.Uint64(badRef[48+4*24:])
+	binary.LittleEndian.PutUint32(badRef[parentOff+4:], uint32(rows+100))
+	f.Add(fixChecksums(badRef))
+	// Forward parent ref (row 1 pointing at a later row).
+	fwdRef := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(fwdRef[parentOff+4:], 2)
+	f.Add(fixChecksums(fwdRef))
+	// Zero point count in row 1 (stored cells always count >= 1).
+	zeroN := append([]byte(nil), valid...)
+	nOff := binary.LittleEndian.Uint64(zeroN[48+1*24:])
+	binary.LittleEndian.PutUint32(zeroN[nOff+4:], 0)
+	f.Add(fixChecksums(zeroN))
+	// Non-boolean used byte.
+	badBool := append([]byte(nil), valid...)
+	usedOff := binary.LittleEndian.Uint64(badBool[48+2*24:])
+	badBool[usedOff+1] = 7
+	f.Add(fixChecksums(badBool))
+	// Empty and tiny inputs.
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := LoadBytes(data)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("LoadBytes returned an untyped error %T: %v", err, err)
+			}
+			return
+		}
+		// Accepted: the input must be a canonical snapshot of the tree it
+		// produced.
+		var buf bytes.Buffer
+		if _, err := Save(&buf, tr); err != nil {
+			t.Fatalf("re-saving an accepted tree: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatal("accepted snapshot is not canonical: re-save produced different bytes")
+		}
+	})
+}
+
+// TestFuzzSeedsRejectTyped runs the corpus mutations through LoadBytes
+// directly (the fuzz engine only executes seeds under -fuzz), pinning
+// that each one is refused with a *FormatError and that the pristine
+// seed still loads.
+func TestFuzzSeedsRejectTyped(t *testing.T) {
+	valid := fuzzSeedSnapshot()
+	if _, err := LoadBytes(valid); err != nil {
+		t.Fatalf("pristine seed refused: %v", err)
+	}
+	mutate := func(name string, fn func(b []byte) []byte) {
+		b := fn(append([]byte(nil), valid...))
+		_, err := LoadBytes(b)
+		if err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+			return
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: untyped error %T: %v", name, err, err)
+		}
+	}
+	mutate("truncated header", func(b []byte) []byte { return b[:100] })
+	mutate("truncated payload", func(b []byte) []byte { return b[:HeaderSize+37] })
+	mutate("flipped version", func(b []byte) []byte { b[8] ^= 0xff; return b })
+	mutate("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("bad column checksum", func(b []byte) []byte { b[HeaderSize+8] ^= 1; return b })
+	mutate("bad header checksum", func(b []byte) []byte { b[16] ^= 1; return b })
+	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0xAA) })
+	mutate("out-of-range parent", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[48+4*24:])
+		binary.LittleEndian.PutUint32(b[off+4:], 1<<30)
+		return fixChecksums(b)
+	})
+	mutate("zero cell count", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[48+1*24:])
+		binary.LittleEndian.PutUint32(b[off+4:], 0)
+		return fixChecksums(b)
+	})
+	mutate("non-boolean used byte", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[48+2*24:])
+		b[off+1] = 7
+		return fixChecksums(b)
+	})
+	mutate("half-space counter above N", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[48+5*24:])
+		binary.LittleEndian.PutUint32(b[off+3*4:], 1<<29)
+		return fixChecksums(b)
+	})
+}

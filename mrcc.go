@@ -21,10 +21,12 @@ import (
 	"context"
 
 	"mrcc/internal/core"
+	"mrcc/internal/ctree"
 	"mrcc/internal/dataset"
 	"mrcc/internal/fault"
 	"mrcc/internal/obs"
 	"mrcc/internal/panics"
+	"mrcc/internal/treeio"
 )
 
 // Noise is the label assigned to points belonging to no cluster.
@@ -92,6 +94,51 @@ type PanicError = panics.Error
 // Dataset is the in-memory dataset container. See the dataset helpers
 // re-exported below for construction and I/O.
 type Dataset = dataset.Dataset
+
+// Tree is the Counting-tree MrCC clusters on: the multi-resolution
+// count structure built in phase one. Obtain one with Config.KeepTree
+// (Result.Tree), persist it with SaveTree, restore it with LoadTree,
+// and recluster on it with RunDatasetOnTree — e.g. to sweep α values
+// without re-counting the data, or to warm-start a run from a snapshot
+// built by an earlier process.
+type Tree = ctree.Tree
+
+// TreeFormatError reports a snapshot file LoadTree refused: wrong
+// magic or version, inconsistent geometry, a checksum mismatch, or
+// column data that does not describe a well-formed tree. Every load
+// failure is one of these (or an *os.PathError from the filesystem) —
+// a corrupt snapshot can never produce a silently wrong tree.
+type TreeFormatError = treeio.FormatError
+
+// SaveTree atomically writes the tree to path in the versioned binary
+// snapshot format (DESIGN.md §10): the file appears complete or not at
+// all. It returns the number of bytes written.
+func SaveTree(path string, t *Tree) (int64, error) {
+	return treeio.SaveFile(path, t)
+}
+
+// LoadTree reads a snapshot written by SaveTree, fully validating it —
+// header geometry, per-column checksums, and tree invariants — before
+// returning. Failures carry a *TreeFormatError.
+func LoadTree(path string) (*Tree, error) {
+	return treeio.LoadFile(path)
+}
+
+// RunDatasetOnTree clusters the dataset over a pre-built Counting-tree
+// (from Result.Tree or LoadTree), skipping phase one. The dataset must
+// be the normalized one the tree was built from — dimensionality and
+// point count are checked, and the run consumes the tree's Used flags
+// (call Tree.ResetUsed between reruns). It is exactly
+// RunDatasetOnTreeContext with a background context.
+func RunDatasetOnTree(t *Tree, ds *Dataset, cfg Config) (*Result, error) {
+	return core.RunOnTree(t, ds, cfg)
+}
+
+// RunDatasetOnTreeContext is RunDatasetOnTree under a context (see
+// RunContext for the cancellation and panic-containment contract).
+func RunDatasetOnTreeContext(ctx context.Context, t *Tree, ds *Dataset, cfg Config) (*Result, error) {
+	return core.RunOnTreeContext(ctx, t, ds, cfg)
+}
 
 // NewDataset returns an empty dataset of dimensionality d with capacity
 // for n points.

@@ -1,0 +1,87 @@
+package mrcc_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mrcc"
+)
+
+// TestSaveLoadTreeWarmStart pins the facade's snapshot workflow: keep
+// the tree from one run, persist it with SaveTree, restore it with
+// LoadTree in (what would be) another process, and recluster on it
+// with RunDatasetOnTree — same β-clusters, clusters and labels as the
+// original run, with no tree build.
+func TestSaveLoadTreeWarmStart(t *testing.T) {
+	rows := twoClusterRows(1, 400)
+	ds, err := mrcc.DatasetFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := ds.Clone()
+	if _, _, err := norm.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := mrcc.RunNormalized(norm, mrcc.Config{KeepTree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Tree == nil {
+		t.Fatal("KeepTree run returned no tree")
+	}
+
+	path := filepath.Join(t.TempDir(), "tree.snap")
+	wrote, err := mrcc.SaveTree(path, first.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != wrote {
+		t.Fatalf("SaveTree reported %d bytes, file holds %d", wrote, fi.Size())
+	}
+
+	loaded, err := mrcc.LoadTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot preserves the Used flags the first run consumed;
+	// clear them before reclustering, as RunDatasetOnTree documents.
+	loaded.ResetUsed()
+	warm, err := mrcc.RunDatasetOnTree(loaded, norm, mrcc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Timings.BuildTree != 0 {
+		t.Fatal("warm-started run reports tree-build time")
+	}
+	if !reflect.DeepEqual(first.Labels, warm.Labels) {
+		t.Fatal("warm-started run labeled points differently")
+	}
+	if len(first.Clusters) != len(warm.Clusters) || len(first.Betas) != len(warm.Betas) {
+		t.Fatalf("warm-started run found %d clusters / %d betas, original %d / %d",
+			len(warm.Clusters), len(warm.Betas), len(first.Clusters), len(first.Betas))
+	}
+	if len(first.Betas) == 0 {
+		t.Fatal("degenerate dataset: no β-clusters, warm-start equivalence is vacuous")
+	}
+}
+
+// TestLoadTreeTypedError pins that a corrupt snapshot surfaces as a
+// *TreeFormatError through the facade.
+func TestLoadTreeTypedError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, []byte("MRCCTREE but truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := mrcc.LoadTree(path)
+	var fe *mrcc.TreeFormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("LoadTree on garbage returned %v, want a *TreeFormatError", err)
+	}
+}
