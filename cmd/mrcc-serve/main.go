@@ -1,0 +1,136 @@
+// Command mrcc-serve runs the MrCC streaming clustering service: it
+// accepts point batches over HTTP, folds them into a live
+// Counting-tree, re-runs the subspace clustering on a cadence (or
+// after enough new points), and answers point-classification queries
+// against the most recently published model without ever blocking
+// ingestion.
+//
+// Usage:
+//
+//	mrcc-serve -dims 8 [flags]
+//
+// The value domain is declared up front: -domain "0:100,0:1,..."
+// gives per-axis min:max bounds (one pair, comma-less, applies to all
+// axes); without it values must already lie in [0,1). The API:
+//
+//	POST /ingest         JSON [[...],...], {"points": ...}, or text/csv
+//	GET  /query?p=v,...  classify a point against the current model
+//	GET  /stats          window, view and counter snapshot
+//	POST /recluster      request an immediate re-cluster pass
+//	POST /snapshot/save  persist the tree (see -snapshot)
+//
+// SIGINT/SIGTERM shut the service down gracefully; with -snapshot set,
+// the tree is persisted on exit and reloaded on the next boot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mrcc/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		dims     = flag.Int("dims", 0, "point dimensionality (required)")
+		domain   = flag.String("domain", "", `per-axis value bounds "min:max[,min:max...]"; one pair applies to all axes; empty = data already in [0,1)`)
+		h        = flag.Int("H", 0, "number of tree resolutions (0 = paper default)")
+		alpha    = flag.Float64("alpha", 0, "significance level for the statistical test (0 = paper default)")
+		workers  = flag.Int("workers", 0, "clustering worker goroutines (0 = GOMAXPROCS)")
+		every    = flag.Duration("recluster-every", 15*time.Second, "re-cluster cadence (0 disables the timer)")
+		everyPts = flag.Int("recluster-points", 0, "re-cluster after this many new points (0 disables)")
+		window   = flag.Int("window-points", 0, "rotate the active tree after this many points; published models cover the last 1-2 windows (0 = keep everything)")
+		snapshot = flag.String("snapshot", "", "tree snapshot path: warm-start source on boot, target for POST /snapshot/save and shutdown")
+		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain budget")
+		maxBetas = flag.Int("max-beta-clusters", 0, "cap on β-clusters per pass (0 = unlimited)")
+		quiet    = flag.Bool("quiet", false, "suppress service logs")
+	)
+	flag.Parse()
+
+	min, max, err := parseDomain(*domain, *dims)
+	if err != nil {
+		log.Fatalf("mrcc-serve: %v", err)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := serve.New(serve.Config{
+		Dims:            *dims,
+		Min:             min,
+		Max:             max,
+		H:               *h,
+		Alpha:           *alpha,
+		Workers:         *workers,
+		MaxBetaClusters: *maxBetas,
+		ReclusterEvery:  *every,
+		ReclusterPoints: *everyPts,
+		WindowPoints:    *window,
+		SnapshotPath:    *snapshot,
+		Logf:            logf,
+	})
+	if err != nil {
+		log.Fatalf("mrcc-serve: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mrcc-serve: %v", err)
+	}
+	// The smoke test (and anyone using -addr :0) parses this line for
+	// the resolved port, so it goes to stdout unconditionally.
+	fmt.Printf("mrcc-serve listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, l, *grace); err != nil {
+		log.Fatalf("mrcc-serve: %v", err)
+	}
+	logf("mrcc-serve: shut down cleanly")
+}
+
+// parseDomain turns "min:max[,min:max...]" into per-axis bounds. A
+// single pair is broadcast to every axis.
+func parseDomain(spec string, dims int) (min, max []float64, err error) {
+	if dims < 1 {
+		return nil, nil, fmt.Errorf("-dims is required (got %d)", dims)
+	}
+	if spec == "" {
+		return nil, nil, nil
+	}
+	pairs := strings.Split(spec, ",")
+	if len(pairs) == 1 {
+		pairs = make([]string, dims)
+		for j := range pairs {
+			pairs[j] = strings.Split(spec, ",")[0]
+		}
+	}
+	if len(pairs) != dims {
+		return nil, nil, fmt.Errorf("-domain has %d axis bounds, want 1 or %d", len(pairs), dims)
+	}
+	min = make([]float64, dims)
+	max = make([]float64, dims)
+	for j, pair := range pairs {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("-domain axis %d: %q is not min:max", j, pair)
+		}
+		if min[j], err = strconv.ParseFloat(lo, 64); err != nil {
+			return nil, nil, fmt.Errorf("-domain axis %d min: %v", j, err)
+		}
+		if max[j], err = strconv.ParseFloat(hi, 64); err != nil {
+			return nil, nil, fmt.Errorf("-domain axis %d max: %v", j, err)
+		}
+	}
+	return min, max, nil
+}

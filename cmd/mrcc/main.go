@@ -279,9 +279,6 @@ func runOnSnapshot(ctx context.Context, opt options, ds *mrcc.Dataset, cfg mrcc.
 	if err != nil {
 		return nil, 0, fmt.Errorf("load-tree: %w", err)
 	}
-	// The snapshot preserves the Used flags of the run that saved it;
-	// clustering consumes them, so clear them first.
-	t.ResetUsed()
 	work := ds
 	if !ds.IsNormalized() {
 		work = ds.Clone()

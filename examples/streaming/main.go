@@ -60,13 +60,15 @@ func main() {
 		if end > full.Len() {
 			end = full.Len()
 		}
+		// One call absorbs the whole batch (validated up front, inserted
+		// in sorted order); RunOnTree clears the Used flags the previous
+		// pass consumed, so the loop is just insert-then-run.
+		if err := tree.InsertBatch(full.Points[start:end]); err != nil {
+			log.Fatal(err)
+		}
 		for _, p := range full.Points[start:end] {
-			if err := tree.Insert(p); err != nil {
-				log.Fatal(err)
-			}
 			seen.Append(p)
 		}
-		tree.ResetUsed()
 		res, err := core.RunOnTree(tree, seen, core.Config{})
 		if err != nil {
 			log.Fatal(err)
@@ -100,7 +102,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loaded.ResetUsed()
 	warm, err := core.RunOnTree(loaded, seen, core.Config{})
 	if err != nil {
 		log.Fatal(err)

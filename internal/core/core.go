@@ -123,9 +123,10 @@ type Config struct {
 	ExternalSpillDir string
 	// KeepTree returns the built Counting-tree in Result.Tree so the
 	// caller can snapshot it (treeio.SaveFile) or rerun clustering on it
-	// (RunOnTree after Tree.ResetUsed — the run consumes the Used
-	// flags). Off by default: the tree is the pipeline's dominant
-	// allocation and holding it in the Result keeps it reachable.
+	// (RunOnTree — Used flags are cleared at entry, so no manual
+	// ResetUsed is needed). Off by default: the tree is the pipeline's
+	// dominant allocation and holding it in the Result keeps it
+	// reachable.
 	KeepTree bool
 }
 
@@ -241,8 +242,8 @@ type Result struct {
 	// or Config.Progress enabled collection.
 	Stats *obs.Stats
 	// Tree is the Counting-tree the run clustered on; nil unless
-	// Config.KeepTree. Its Used flags were consumed by the β-search —
-	// call Tree.ResetUsed before reusing it with RunOnTree.
+	// Config.KeepTree. It can be fed straight back into RunOnTree (or
+	// RunTree), which clears the consumed Used flags itself.
 	Tree *ctree.Tree
 }
 
@@ -411,8 +412,11 @@ func buildTreeBounded(ctx context.Context, ds *dataset.Dataset, cfg Config, prog
 
 // RunOnTree executes phases two and three over a pre-built Counting-tree
 // (the sensitivity experiments rebuild clusters under several α values
-// without re-scanning the data). The tree's usedCell flags are consumed;
-// call Tree.ResetUsed to reuse the tree.
+// without re-scanning the data). The tree's usedCell flags are cleared
+// at entry, so rerunning on the same tree — the warm-start loop of the
+// streaming service and the CLI's -load-tree path — always starts from
+// a clean slate and yields the same Result (TestRunOnTreeTwiceIdentical
+// pins it).
 func RunOnTree(t *ctree.Tree, ds *dataset.Dataset, cfg Config) (*Result, error) {
 	return RunOnTreeContext(context.Background(), t, ds, cfg)
 }
@@ -442,6 +446,44 @@ func RunOnTreeContext(ctx context.Context, t *ctree.Tree, ds *dataset.Dataset, c
 	return res, err
 }
 
+// RunTree clusters directly on a Counting-tree with no dataset at
+// hand: phases two and three run (β-search, cluster merge), point
+// labeling is skipped — Result.Labels is nil and Cluster.Size stays
+// zero. The streaming service publishes query views from these
+// results: a point is assigned to the correlation cluster owning the
+// first β-cluster box containing it, exactly the rule labeling
+// applies, so no stored dataset is needed to answer "which cluster is
+// this point in?". It is exactly RunTreeContext with a background
+// context.
+func RunTree(t *ctree.Tree, cfg Config) (*Result, error) {
+	return RunTreeContext(context.Background(), t, cfg)
+}
+
+// RunTreeContext is RunTree under a context, with the same
+// cancellation, fault-injection and panic-containment contract as
+// RunOnTreeContext. Like RunOnTree, it clears the tree's Used flags at
+// entry, so reruns need no manual ResetUsed.
+func RunTreeContext(ctx context.Context, t *ctree.Tree, cfg Config) (res *Result, err error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	col := newCollector(cfg)
+	phase := obs.PhaseBetaSearch
+	defer func() {
+		if r := recover(); r != nil {
+			err = panics.New(r)
+		}
+		if err != nil && isAbort(err) {
+			col.SetAborted(phase)
+			res = nil
+			err = &PipelineError{Phase: phase.String(), Err: err, Stats: col.Finish()}
+		}
+	}()
+	res, phase, err = runOnTreeAbortable(t, nil, cfg, col, newAborter(ctx))
+	return res, err
+}
+
 // newCollector returns the run's stats collector, or nil (the no-op
 // collector) when the config asks for no observability.
 func newCollector(cfg Config) *obs.Collector {
@@ -459,13 +501,18 @@ func newCollector(cfg Config) *obs.Collector {
 // overhead — the RunOnTree-without-context path). The returned phase
 // names the stage an error interrupted.
 func runOnTreeAbortable(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs.Collector, ab *aborter) (*Result, obs.Phase, error) {
-	if t.D != ds.Dims || t.Eta != ds.Len() {
+	if ds != nil && (t.D != ds.Dims || t.Eta != ds.Len()) {
 		return nil, obs.PhaseBetaSearch, fmt.Errorf("core: tree (d=%d, η=%d) does not match dataset (d=%d, η=%d)",
 			t.D, t.Eta, ds.Dims, ds.Len())
 	}
+	// The β-search consumes the Used flags; clearing them here (O(cells),
+	// a no-op on a freshly built tree) makes reruns on one tree
+	// self-contained instead of depending on the caller remembering
+	// ResetUsed.
+	t.ResetUsed()
 	workers := cfg.workerCount()
 	if col != nil {
-		col.SetShape(ds.Len(), ds.Dims, cfg.H, workers)
+		col.SetShape(t.Eta, t.D, cfg.H, workers)
 		// One walk for every level count: LevelCellCount per level would
 		// re-walk the whole tree H-1 times (O(H · cells) before the run
 		// even starts).
@@ -492,18 +539,21 @@ func runOnTreeAbortable(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs
 	spMerge.End()
 	col.SetClusterCounts(int64(len(betas)), int64(len(clusters)), int64(merges))
 	col.Progress(obs.PhaseClusterMerge, int64(len(clusters)), int64(len(clusters)))
-	spLabel := col.Start(obs.PhaseLabeling)
-	labels, err := labelPoints(ds, betas, clusters, workers, col, ab)
-	spLabel.End()
-	if err != nil {
-		return nil, obs.PhaseLabeling, err
-	}
-	for i := range clusters {
-		clusters[i].Size = 0
-	}
-	for _, lb := range labels {
-		if lb != Noise {
-			clusters[lb].Size++
+	var labels []int
+	if ds != nil {
+		spLabel := col.Start(obs.PhaseLabeling)
+		labels, err = labelPoints(ds, betas, clusters, workers, col, ab)
+		spLabel.End()
+		if err != nil {
+			return nil, obs.PhaseLabeling, err
+		}
+		for i := range clusters {
+			clusters[i].Size = 0
+		}
+		for _, lb := range labels {
+			if lb != Noise {
+				clusters[lb].Size++
+			}
 		}
 	}
 	// MemoryBytes is the arena's own exact footprint; the materialized

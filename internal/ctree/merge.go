@@ -9,8 +9,9 @@ import (
 
 // Insert counts one additional point (in [0,1)^d) into the tree,
 // exactly as Build's batched scan does. The clustering phase can then
-// be re-run over the updated tree (after ResetUsed), which is how a
-// downstream system keeps clusters fresh while data streams in.
+// be re-run over the updated tree, which is how a downstream system
+// keeps clusters fresh while data streams in (InsertBatch amortizes
+// the descent over sorted chunks when points arrive in batches).
 //
 // Insert refuses to count past MaxPoints: the N and P counters are
 // int32 and the counts would otherwise silently wrap.

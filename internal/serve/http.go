@@ -1,0 +1,286 @@
+// HTTP surface of the streaming clustering service. Handlers are thin:
+// they parse, call into the Server, and encode JSON. The query path is
+// deliberately lock-free — it loads the published view once and works
+// entirely on that immutable snapshot.
+package serve
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mrcc/internal/core"
+	"mrcc/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /ingest         point batch (JSON array, {"points": ...}, or text/csv)
+//	GET  /query?p=v,...  classify one point against the published view
+//	POST /query          same, point in the JSON body
+//	GET  /stats          window, view and counter snapshot
+//	POST /recluster      request an immediate re-cluster pass (202)
+//	POST /snapshot/save  persist the merged window trees to the snapshot path
+//	GET  /healthz        liveness (200 once the process serves)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /query", s.handleQueryGet)
+	mux.HandleFunc("POST /query", s.handleQueryPost)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /recluster", s.handleRecluster)
+	mux.HandleFunc("POST /snapshot/save", s.handleSnapshotSave)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseBatch decodes an ingest body. JSON accepts a bare array of
+// points or an object {"points": [[...], ...]}; text/csv accepts one
+// point per record, all-numeric fields (no header).
+func parseBatch(r *http.Request, maxBody int64) ([][]float64, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxBody)
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "text/csv" {
+		cr := csv.NewReader(body)
+		cr.ReuseRecord = true
+		var pts [][]float64
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("csv: %w", err)
+			}
+			p := make([]float64, len(rec))
+			for j, f := range rec {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return nil, fmt.Errorf("csv record %d field %d: %w", len(pts)+1, j+1, err)
+				}
+				p[j] = v
+			}
+			pts = append(pts, p)
+		}
+		return pts, nil
+	}
+	dec := json.NewDecoder(body)
+	dec.UseNumber()
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("json: %w", err)
+	}
+	var pts [][]float64
+	if err := json.Unmarshal(raw, &pts); err == nil {
+		return pts, nil
+	}
+	var wrapped struct {
+		Points [][]float64 `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &wrapped); err != nil {
+		return nil, fmt.Errorf("json: body is neither a point array nor {\"points\": ...}: %w", err)
+	}
+	return wrapped.Points, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	pts, err := parseBatch(r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.counters.AddIngestRejected()
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	total, err := s.ingest(pts)
+	if err != nil {
+		s.counters.AddIngestRejected()
+		writeError(w, http.StatusUnprocessableEntity, "ingest: %v", err)
+		return
+	}
+	var seq uint64
+	if v := s.cur.Load(); v != nil {
+		seq = v.seq
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted":    len(pts),
+		"totalPoints": total,
+		"viewSeq":     seq,
+	})
+}
+
+// queryResponse is the answer to one point query, evaluated against
+// the immutable published view identified by viewSeq.
+type queryResponse struct {
+	Cluster      int    `json:"cluster"` // -1 = noise
+	Noise        bool   `json:"noise"`
+	RelevantAxes []int  `json:"relevantAxes,omitempty"`
+	ViewSeq      uint64 `json:"viewSeq"`
+	ViewAgeMs    int64  `json:"viewAgeMs"`
+	ViewPoints   int    `json:"viewPoints"`
+}
+
+func (s *Server) answerQuery(w http.ResponseWriter, p []float64) {
+	np, err := s.normalizePoint(p)
+	if err != nil {
+		s.counters.AddQueryRejected()
+		writeError(w, http.StatusUnprocessableEntity, "query: %v", err)
+		return
+	}
+	v := s.cur.Load()
+	if v == nil {
+		s.counters.AddQueryRejected()
+		writeError(w, http.StatusServiceUnavailable, "query: no published clustering view yet (ingest data and wait one re-cluster pass)")
+		return
+	}
+	id := v.classify(np)
+	s.counters.AddQuery(id != core.Noise)
+	resp := queryResponse{
+		Cluster:    id,
+		Noise:      id == core.Noise,
+		ViewSeq:    v.seq,
+		ViewAgeMs:  time.Since(v.builtAt).Milliseconds(),
+		ViewPoints: v.points,
+	}
+	if id != core.Noise {
+		resp.RelevantAxes = v.res.Clusters[id].RelevantAxes()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("p")
+	if raw == "" {
+		s.counters.AddQueryRejected()
+		writeError(w, http.StatusBadRequest, "query: missing p=v1,v2,... parameter")
+		return
+	}
+	fields := strings.Split(raw, ",")
+	p := make([]float64, len(fields))
+	for j, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			s.counters.AddQueryRejected()
+			writeError(w, http.StatusBadRequest, "query: p value %d: %v", j+1, err)
+			return
+		}
+		p[j] = v
+	}
+	s.answerQuery(w, p)
+}
+
+func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	var raw json.RawMessage
+	if err := json.NewDecoder(body).Decode(&raw); err != nil {
+		s.counters.AddQueryRejected()
+		writeError(w, http.StatusBadRequest, "query: json: %v", err)
+		return
+	}
+	var p []float64
+	if err := json.Unmarshal(raw, &p); err != nil {
+		var wrapped struct {
+			Point []float64 `json:"point"`
+		}
+		if err := json.Unmarshal(raw, &wrapped); err != nil {
+			s.counters.AddQueryRejected()
+			writeError(w, http.StatusBadRequest, "query: body is neither a point array nor {\"point\": ...}")
+			return
+		}
+		p = wrapped.Point
+	}
+	s.answerQuery(w, p)
+}
+
+// statsResponse is the GET /stats document.
+type statsResponse struct {
+	UptimeMs int64 `json:"uptimeMs"`
+	Dims     int   `json:"dims"`
+	H        int   `json:"h"`
+	Window   struct {
+		ActivePoints int `json:"activePoints"`
+		AgingPoints  int `json:"agingPoints"`
+		WindowPoints int `json:"windowPoints"`
+	} `json:"window"`
+	TreeBytes uint64              `json:"treeBytes"`
+	View      *viewInfo           `json:"view"` // null before the first pass
+	Counters  obs.ServiceSnapshot `json:"counters"`
+}
+
+type viewInfo struct {
+	Seq       uint64 `json:"seq"`
+	AgeMs     int64  `json:"ageMs"`
+	Points    int    `json:"points"`
+	Betas     int    `json:"betas"`
+	Clusters  int    `json:"clusters"`
+	TreeBytes uint64 `json:"treeBytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.UptimeMs = time.Since(s.started).Milliseconds()
+	resp.Dims = s.cfg.Dims
+	resp.H = s.cfg.H
+	s.mu.Lock()
+	resp.Window.ActivePoints = s.active.Eta
+	resp.TreeBytes = s.active.MemoryBytes()
+	if s.aging != nil {
+		resp.Window.AgingPoints = s.aging.Eta
+		resp.TreeBytes += s.aging.MemoryBytes()
+	}
+	s.mu.Unlock()
+	resp.Window.WindowPoints = s.cfg.WindowPoints
+	if v := s.cur.Load(); v != nil {
+		resp.View = &viewInfo{
+			Seq:       v.seq,
+			AgeMs:     time.Since(v.builtAt).Milliseconds(),
+			Points:    v.points,
+			Betas:     len(v.res.Betas),
+			Clusters:  len(v.res.Clusters),
+			TreeBytes: v.treeBytes,
+		}
+	}
+	resp.Counters = s.counters.Snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
+	s.Kick()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recluster requested"})
+}
+
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	n, err := s.saveSnapshot()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errNoSnapshotPath) || errors.Is(err, errNothingIngested) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"bytes": n,
+		"path":  s.cfg.SnapshotPath,
+	})
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrcc/internal/core"
+)
+
+// TestConcurrentQueriesDuringIngest hammers the published view from 8
+// query goroutines (1000+ queries total) while the main goroutine
+// ingests batches, forces re-cluster passes (view swaps) and saves
+// snapshots. Run under -race this pins the RCU contract: queries never
+// take the ingest lock and never observe a half-built view — every
+// answer is internally consistent (a cluster ID always indexes into
+// the view it was answered from, which the handler guarantees by
+// loading the pointer exactly once).
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	cfg := testConfig()
+	cfg.WindowPoints = 600 // force rotations mid-flight
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "race.snap")
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	// Seed enough data that a view exists before the storm starts.
+	if _, err := s.ingest(streamRows(10, 200, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.recluster(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		goroutines = 8
+		perWorker  = 150 // 8 * 150 = 1200 concurrent queries
+	)
+	var (
+		wg      sync.WaitGroup
+		queries atomic.Int64
+		stop    atomic.Bool
+	)
+	points := []string{
+		"/query?p=2,3,2,5,5",           // cluster A center
+		"/query?p=5,8,8,5,5",           // cluster B center
+		"/query?p=9.9,0.1,9.9,0.1,9.9", // far corner, likely noise
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker && !stop.Load(); i++ {
+				w := do(t, h, "GET", points[(g+i)%len(points)], "", nil)
+				if w.Code != http.StatusOK {
+					t.Errorf("query = %d: %s", w.Code, w.Body)
+					stop.Store(true)
+					return
+				}
+				var resp queryResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					t.Error(err)
+					stop.Store(true)
+					return
+				}
+				// Internal consistency of one answer: noise and cluster
+				// agree, a hit names its subspace, and the view metadata
+				// is from a fully published view.
+				if resp.Noise != (resp.Cluster == core.Noise) {
+					t.Errorf("inconsistent answer: %+v", resp)
+				}
+				if !resp.Noise && len(resp.RelevantAxes) == 0 {
+					t.Errorf("cluster hit with no relevant axes: %+v", resp)
+				}
+				if resp.ViewSeq == 0 || resp.ViewPoints == 0 {
+					t.Errorf("answer from an unpublished view: %+v", resp)
+				}
+				queries.Add(1)
+			}
+		}(g)
+	}
+
+	// Meanwhile: ingest, re-cluster (view swaps) and snapshot saves.
+	for round := int64(0); round < 6 && !stop.Load(); round++ {
+		if _, err := s.ingest(streamRows(10, 100, 100+round)); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := s.recluster(context.Background()); err != nil {
+			t.Error(err)
+			break
+		}
+		if _, err := s.saveSnapshot(); err != nil {
+			t.Error(err)
+			break
+		}
+		// Also exercise /stats concurrently with the queries.
+		if w := do(t, h, "GET", "/stats", "", nil); w.Code != http.StatusOK {
+			t.Errorf("stats = %d", w.Code)
+			break
+		}
+	}
+	wg.Wait()
+	if queries.Load() < 1000 {
+		t.Fatalf("only %d concurrent queries completed, want >= 1000", queries.Load())
+	}
+	if t.Failed() {
+		return
+	}
+	// Sanity: views actually swapped while the queries ran.
+	if v := s.cur.Load(); v == nil || v.seq < 6 {
+		t.Fatalf("view swaps did not happen during the storm (seq=%v)", v)
+	}
+}
+
+// TestRunGracefulShutdown boots the full Run stack on an ephemeral
+// port, exercises it over real TCP, cancels the context (the SIGTERM
+// path) and checks the shutdown epilogue saved a warm-start snapshot.
+func TestRunGracefulShutdown(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReclusterEvery = 50 * time.Millisecond
+	cfg.ReclusterPoints = 100
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "shutdown.snap")
+	s := newTestServer(t, cfg)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, l, 2*time.Second) }()
+
+	base := "http://" + l.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Second}
+	body := mustJSON(t, streamRows(10, 400, 11))
+	resp, err := client.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest over TCP = %d", resp.StatusCode)
+	}
+
+	// The point trigger (400 >= 100) publishes a view shortly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base + "/query?p=2,3,2,5,5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no published view within 10s (last query = %d)", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return within 10s of cancellation")
+	}
+
+	// The shutdown epilogue persisted the tree for the next boot.
+	warm := newTestServer(t, cfg)
+	warm.mu.Lock()
+	eta := warm.active.Eta
+	warm.mu.Unlock()
+	if eta == 0 {
+		t.Fatal("shutdown left no warm-start snapshot")
+	}
+}

@@ -1,0 +1,511 @@
+// Package serve turns the MrCC library into a long-running streaming
+// clustering service: point batches are ingested over HTTP and folded
+// into a live Counting-tree through the arena's batch insertion, a
+// background loop re-runs the β-search on a cadence (or after enough
+// new points), and every completed pass publishes an immutable view —
+// the clustering Result plus query metadata — behind an
+// atomic.Pointer. Queries classify points against the current view
+// RCU-style: they never take the ingest lock, never observe a
+// half-built Result, and a view swap is one pointer store.
+//
+// The paper's conclusion observes that MrCC's statistical test gets
+// stronger as data accumulates; the service adds the complementary
+// mechanism for data that *drifts*: a two-tree window (active + aging)
+// rotated when the active tree reaches a configured point count, so
+// published models track the most recent 1–2 windows of the stream
+// instead of its whole history. See DESIGN.md §11.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrcc/internal/core"
+	"mrcc/internal/ctree"
+	"mrcc/internal/obs"
+	"mrcc/internal/treeio"
+)
+
+// normEps keeps domain maxima strictly below 1 after normalization,
+// matching dataset.Normalize's embedding of data into [0,1).
+const normEps = 1e-9
+
+// Config declares the service's fixed contract: the dimensionality and
+// value domain every ingested point is validated against, the
+// clustering parameters, and the re-cluster / rotation policy. The
+// domain is declared up front (not inferred from data) because a
+// streaming normalizer that rescales as extremes arrive would silently
+// shift every previously counted point's cell — the tree is only
+// meaningful under one fixed affine embedding.
+type Config struct {
+	// Dims is the dimensionality every ingested or queried point must
+	// have. Required.
+	Dims int
+	// Min and Max declare the per-axis value domain: ingested values
+	// must lie in [Min[j], Max[j]]. Nil selects the unit interval for
+	// every axis (data already normalized). Length must equal Dims and
+	// Max[j] must exceed Min[j].
+	Min, Max []float64
+	// H, Alpha and Workers configure the clustering runs (zero values
+	// select the paper's defaults, as in core.Config).
+	H       int
+	Alpha   float64
+	Workers int
+	// MaxBetaClusters caps the β-cluster count per re-cluster pass
+	// (safety valve; 0 = unlimited).
+	MaxBetaClusters int
+	// ReclusterEvery re-runs the β-search on this cadence. Zero
+	// disables the timer (re-clustering then happens only via
+	// ReclusterPoints or POST /recluster).
+	ReclusterEvery time.Duration
+	// ReclusterPoints re-runs the β-search once this many new points
+	// arrived since the last pass. Zero disables the trigger.
+	ReclusterPoints int
+	// WindowPoints bounds the active tree: when it reaches this many
+	// points it is rotated into the aging slot (whose previous tree is
+	// dropped) and a fresh active tree starts. Published views are built
+	// from aging+active merged, so the model always reflects the last
+	// one-to-two windows of the stream. Zero disables windowing (the
+	// tree accumulates the whole stream).
+	WindowPoints int
+	// SnapshotPath, when non-empty, is the tree snapshot the service
+	// warm-starts from on boot (when the file exists), writes on POST
+	// /snapshot/save, and saves a final time on graceful shutdown.
+	SnapshotPath string
+	// MaxBatchPoints caps the points accepted per ingest request
+	// (default 100000); MaxBodyBytes caps the request body (default
+	// 64 MB).
+	MaxBatchPoints int
+	MaxBodyBytes   int64
+	// Logf, when non-nil, receives service log lines (boot, rotation,
+	// re-cluster failures, shutdown).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves zero config fields.
+func (c Config) withDefaults() Config {
+	if c.H == 0 {
+		c.H = core.DefaultH
+	}
+	if c.Alpha == 0 {
+		c.Alpha = core.DefaultAlpha
+	}
+	if c.MaxBatchPoints == 0 {
+		c.MaxBatchPoints = 100000
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Dims < 1 || c.Dims > ctree.MaxDims {
+		return fmt.Errorf("serve: Dims must be in [1, %d], got %d", ctree.MaxDims, c.Dims)
+	}
+	if (c.Min == nil) != (c.Max == nil) {
+		return errors.New("serve: Min and Max must be declared together")
+	}
+	if c.Min != nil {
+		if len(c.Min) != c.Dims || len(c.Max) != c.Dims {
+			return fmt.Errorf("serve: domain has %d/%d bounds, want %d", len(c.Min), len(c.Max), c.Dims)
+		}
+		for j := range c.Min {
+			if math.IsNaN(c.Min[j]) || math.IsNaN(c.Max[j]) ||
+				math.IsInf(c.Min[j], 0) || math.IsInf(c.Max[j], 0) {
+				return fmt.Errorf("serve: axis %d domain [%g, %g] is not finite", j, c.Min[j], c.Max[j])
+			}
+			if c.Max[j] <= c.Min[j] {
+				return fmt.Errorf("serve: axis %d domain [%g, %g] is empty", j, c.Min[j], c.Max[j])
+			}
+		}
+	}
+	if c.H < ctree.MinLevels || c.H > ctree.MaxLevels {
+		return fmt.Errorf("serve: H must be in [%d, %d], got %d", ctree.MinLevels, ctree.MaxLevels, c.H)
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("serve: Alpha must be in (0,1), got %g", c.Alpha)
+	}
+	if c.ReclusterEvery < 0 || c.ReclusterPoints < 0 || c.WindowPoints < 0 {
+		return errors.New("serve: re-cluster and window thresholds must be >= 0")
+	}
+	if c.ReclusterEvery == 0 && c.ReclusterPoints == 0 {
+		return errors.New("serve: at least one of ReclusterEvery and ReclusterPoints must be set")
+	}
+	return nil
+}
+
+// view is one published clustering snapshot: everything a query needs,
+// all of it immutable after the atomic.Pointer store that publishes
+// it. Readers obtain the whole view with one Load and never see a
+// partially filled one — the happens-before edge of the atomic store
+// covers every field written before it.
+type view struct {
+	seq       uint64
+	builtAt   time.Time
+	points    int    // η the view was clustered from
+	treeBytes uint64 // footprint of the merged tree the view was built on
+	res       *core.Result
+	betaOwner []int // β-cluster index -> correlation cluster ID
+}
+
+// classify returns the cluster ID owning the first β-cluster box that
+// contains the normalized point, or core.Noise — exactly the rule the
+// pipeline's labeling phase applies, so a query answers what a full
+// RunOnTree would have labeled the point.
+func (v *view) classify(p []float64) int {
+	for bi := range v.res.Betas {
+		b := &v.res.Betas[bi]
+		inside := true
+		for j, x := range p {
+			if x < b.L[j] || x > b.U[j] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return v.betaOwner[bi]
+		}
+	}
+	return core.Noise
+}
+
+// Server is the streaming clustering service. Create one with New,
+// start its re-cluster loop with Start (or use Run, which also serves
+// HTTP), and mount Handler on any mux.
+type Server struct {
+	cfg      Config
+	scale    []float64 // per-axis (1-normEps)/(Max-Min); nil for the unit domain
+	counters obs.ServiceCounters
+	started  time.Time
+
+	// mu guards the two window trees and the re-cluster bookkeeping.
+	// Queries never take it — they read the published view only.
+	mu          sync.Mutex
+	active      *ctree.Tree // receives all ingestion
+	aging       *ctree.Tree // previous window, immutable; nil until first rotation
+	sinceRecl   int         // points ingested since the last re-cluster snapshot
+	totalPoints int64       // lifetime accepted points (survives rotation drops)
+
+	kick chan struct{} // re-cluster trigger, capacity 1
+	cur  atomic.Pointer[view]
+	seq  atomic.Uint64
+
+	loopDone chan struct{}
+}
+
+// New validates the config and assembles the service. When
+// Config.SnapshotPath names an existing snapshot, the active tree
+// warm-starts from it (geometry checked) and the first re-cluster pass
+// publishes a view for it right after Start — a restarted service
+// answers queries without re-ingesting its history.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		active:   ctree.New(cfg.Dims, cfg.H),
+		kick:     make(chan struct{}, 1),
+		loopDone: make(chan struct{}),
+		started:  time.Now(),
+	}
+	if cfg.Min != nil {
+		s.scale = make([]float64, cfg.Dims)
+		for j := range s.scale {
+			s.scale[j] = (1 - normEps) / (cfg.Max[j] - cfg.Min[j])
+		}
+	}
+	if cfg.SnapshotPath != "" {
+		if _, err := os.Stat(cfg.SnapshotPath); err == nil {
+			t, err := treeio.LoadFile(cfg.SnapshotPath)
+			if err != nil {
+				return nil, fmt.Errorf("serve: warm-start snapshot: %w", err)
+			}
+			if t.D != cfg.Dims || t.H != cfg.H {
+				return nil, fmt.Errorf("serve: warm-start snapshot geometry (d=%d, H=%d) does not match the declared service (d=%d, H=%d)",
+					t.D, t.H, cfg.Dims, cfg.H)
+			}
+			s.active = t
+			s.totalPoints = int64(t.Eta)
+			s.logf("warm-start: loaded %d points (%d cells) from %s", t.Eta, t.CellCount(), cfg.SnapshotPath)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: warm-start snapshot: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Counters exposes the service's lifetime counters (for tests and
+// embedding processes; HTTP clients read them via GET /stats).
+func (s *Server) Counters() *obs.ServiceCounters { return &s.counters }
+
+// normalizePoint validates one point in domain units and returns its
+// [0,1)^d embedding. The input slice is not retained.
+func (s *Server) normalizePoint(p []float64) ([]float64, error) {
+	if len(p) != s.cfg.Dims {
+		return nil, fmt.Errorf("point has %d values, want %d", len(p), s.cfg.Dims)
+	}
+	out := make([]float64, len(p))
+	for j, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("axis %d value is not finite", j)
+		}
+		if s.scale == nil {
+			if v < 0 || v >= 1 {
+				return nil, fmt.Errorf("axis %d value %g outside the declared domain [0, 1)", j, v)
+			}
+			out[j] = v
+			continue
+		}
+		if v < s.cfg.Min[j] || v > s.cfg.Max[j] {
+			return nil, fmt.Errorf("axis %d value %g outside the declared domain [%g, %g]", j, v, s.cfg.Min[j], s.cfg.Max[j])
+		}
+		out[j] = (v - s.cfg.Min[j]) * s.scale[j]
+	}
+	return out, nil
+}
+
+// ingest validates and normalizes a batch and folds it into the active
+// tree under the ingest lock, then decides whether the new-points
+// trigger fires. It returns the lifetime accepted total.
+func (s *Server) ingest(points [][]float64) (total int64, err error) {
+	if len(points) == 0 {
+		return 0, errors.New("empty batch")
+	}
+	if len(points) > s.cfg.MaxBatchPoints {
+		return 0, fmt.Errorf("batch holds %d points, the per-request maximum is %d", len(points), s.cfg.MaxBatchPoints)
+	}
+	norm := make([][]float64, len(points))
+	for i, p := range points {
+		np, err := s.normalizePoint(p)
+		if err != nil {
+			return 0, fmt.Errorf("point %d: %w", i, err)
+		}
+		norm[i] = np
+	}
+	s.mu.Lock()
+	if err := s.active.InsertBatch(norm); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.sinceRecl += len(norm)
+	s.totalPoints += int64(len(norm))
+	total = s.totalPoints
+	fire := s.cfg.ReclusterPoints > 0 && s.sinceRecl >= s.cfg.ReclusterPoints
+	s.mu.Unlock()
+	s.counters.AddIngest(len(norm))
+	if fire {
+		s.Kick()
+	}
+	return total, nil
+}
+
+// Kick requests a re-cluster pass as soon as the loop is free. It
+// never blocks: a pass is already pending when the buffer is full.
+func (s *Server) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the re-cluster loop; it stops when ctx is cancelled
+// (Wait blocks until then). A warm-started tree gets an immediate
+// first pass so the service answers queries right after boot.
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	warm := s.active.Eta > 0
+	s.mu.Unlock()
+	if warm {
+		s.Kick()
+	}
+	go s.loop(ctx)
+}
+
+// Wait blocks until the re-cluster loop exited.
+func (s *Server) Wait() { <-s.loopDone }
+
+// loop is the re-cluster scheduler: one goroutine serializes window
+// rotation and clustering, so the HTTP paths never run the pipeline.
+func (s *Server) loop(ctx context.Context) {
+	defer close(s.loopDone)
+	var tick <-chan time.Time
+	if s.cfg.ReclusterEvery > 0 {
+		t := time.NewTicker(s.cfg.ReclusterEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		case <-s.kick:
+		}
+		if err := s.recluster(ctx); err != nil && ctx.Err() == nil {
+			s.logf("recluster: %v", err)
+		}
+	}
+}
+
+// snapshotTrees captures the clustering input under the ingest lock:
+// a clone of the active tree (a flat memcpy of the arena slabs — the
+// lock is held for microseconds, not for the clustering run) and the
+// current aging tree, which is immutable once rotated. Rotation
+// happens here too, so it is serialized with re-clustering.
+func (s *Server) snapshotTrees() (active, aging *ctree.Tree, rotated bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.WindowPoints > 0 && s.active.Eta >= s.cfg.WindowPoints {
+		s.aging = s.active
+		s.active = ctree.New(s.cfg.Dims, s.cfg.H)
+		rotated = true
+	}
+	s.sinceRecl = 0
+	return s.active.Clone(), s.aging, rotated
+}
+
+// mergedTree builds the clustering input: aging+active merged into a
+// private tree (the published model covers the last one-to-two
+// windows), or the active clone alone before any rotation.
+func mergedTree(active, aging *ctree.Tree) (*ctree.Tree, error) {
+	if aging == nil {
+		return active, nil
+	}
+	m := aging.Clone()
+	if active.Eta > 0 {
+		if err := m.MergeFrom(active); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// recluster runs one β-search pass over the merged window trees and
+// publishes the result as the new query view. The pass runs entirely
+// outside the ingest lock; the publish is one atomic pointer store.
+func (s *Server) recluster(ctx context.Context) error {
+	active, aging, rotated := s.snapshotTrees()
+	if rotated {
+		s.counters.AddRotation()
+		s.logf("window rotated: %d points retired to the aging slot", aging.Eta)
+	}
+	merged, err := mergedTree(active, aging)
+	if err != nil {
+		s.counters.AddRecluster(false)
+		return err
+	}
+	if merged.Eta == 0 {
+		return nil // nothing ingested yet; keep whatever view exists
+	}
+	res, err := core.RunTreeContext(ctx, merged, core.Config{
+		Alpha:           s.cfg.Alpha,
+		H:               s.cfg.H,
+		Workers:         s.cfg.Workers,
+		MaxBetaClusters: s.cfg.MaxBetaClusters,
+	})
+	if err != nil {
+		s.counters.AddRecluster(false)
+		return err
+	}
+	owner := make([]int, len(res.Betas))
+	for _, c := range res.Clusters {
+		for _, b := range c.Betas {
+			owner[b] = c.ID
+		}
+	}
+	v := &view{
+		seq:       s.seq.Add(1),
+		builtAt:   time.Now(),
+		points:    merged.Eta,
+		treeBytes: merged.MemoryBytes() + merged.IndexMemoryBytes(),
+		res:       res,
+		betaOwner: owner,
+	}
+	s.cur.Store(v)
+	s.counters.AddRecluster(true)
+	return nil
+}
+
+var (
+	errNoSnapshotPath  = errors.New("no snapshot path configured")
+	errNothingIngested = errors.New("nothing ingested yet")
+)
+
+// saveSnapshot persists the merged window trees to the configured
+// snapshot path (treeio's atomic, durable SaveFile). It is what POST
+// /snapshot/save and the shutdown epilogue run.
+func (s *Server) saveSnapshot() (int64, error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, errNoSnapshotPath
+	}
+	s.mu.Lock()
+	active := s.active.Clone()
+	aging := s.aging
+	s.mu.Unlock()
+	merged, err := mergedTree(active, aging)
+	if err != nil {
+		return 0, err
+	}
+	if merged.Eta == 0 {
+		return 0, errNothingIngested
+	}
+	n, err := treeio.SaveFile(s.cfg.SnapshotPath, merged)
+	if err != nil {
+		return 0, err
+	}
+	s.counters.AddSnapshotSave(n)
+	return n, nil
+}
+
+// Run serves the service on l until ctx is cancelled, then shuts down
+// gracefully: in-flight requests drain (bounded by grace, default 5s
+// when zero), the re-cluster loop stops, and — when a snapshot path is
+// configured and data arrived — a final snapshot is saved so the next
+// boot warm-starts where this process left off.
+func (s *Server) Run(ctx context.Context, l net.Listener, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	loopCtx, stopLoop := context.WithCancel(context.Background())
+	defer stopLoop()
+	s.Start(loopCtx)
+	srv := &http.Server{Handler: s.Handler()}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(sctx)
+	}()
+	err := srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = <-shutdownErr
+	}
+	stopLoop()
+	s.Wait()
+	if s.cfg.SnapshotPath != "" {
+		if n, serr := s.saveSnapshot(); serr == nil {
+			s.logf("shutdown: saved %d-byte snapshot to %s", n, s.cfg.SnapshotPath)
+		} else {
+			s.logf("shutdown: snapshot not saved: %v", serr)
+		}
+	}
+	return err
+}

@@ -179,11 +179,24 @@ func Save(w io.Writer, t *ctree.Tree) (int64, error) {
 	return written, nil
 }
 
-// SaveFile writes the tree's snapshot to path atomically: the bytes go
-// to a temporary file in the same directory, are synced, and replace
-// path with one rename — a crash mid-save never leaves a truncated
-// snapshot under the target name.
-func SaveFile(path string, t *ctree.Tree) (int64, error) {
+// Test seams for the injected-failure suite (savefile_test.go): the
+// durability contract below is only provable by making each fallible
+// step fail on demand.
+var (
+	syncFile   = (*os.File).Sync
+	renameFile = os.Rename
+)
+
+// SaveFile writes the tree's snapshot to path atomically and durably:
+// the bytes go to a temporary file in the same directory, the file is
+// fsynced, one rename replaces path, and the containing directory is
+// fsynced so the rename itself survives a crash — a power cut never
+// leaves a truncated snapshot under the target name, and once SaveFile
+// returns the new snapshot is the one a reboot finds. Every failure
+// path removes the temporary file, so a snapshot directory rotated
+// continuously (the streaming service saves on a cadence) never
+// accumulates stranded *.tmp files.
+func SaveFile(path string, t *ctree.Tree) (written int64, err error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -193,21 +206,44 @@ func SaveFile(path string, t *ctree.Tree) (int64, error) {
 		return 0, err
 	}
 	tmp := f.Name()
-	written, err := Save(f, t)
+	defer func() {
+		if err != nil {
+			// After a successful rename tmp no longer exists and this
+			// Remove is a harmless ENOENT (the directory-sync failure
+			// path); on every earlier failure it reclaims the temp file.
+			os.Remove(tmp)
+			written = 0
+		}
+	}()
+	written, err = Save(f, t)
 	if err == nil {
-		err = f.Sync()
+		err = syncFile(f)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
 	if err != nil {
-		os.Remove(tmp)
 		return 0, err
 	}
-	return written, nil
+	if err = renameFile(tmp, path); err != nil {
+		return 0, err
+	}
+	return written, syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-performed rename in it
+// durable. An unsyncable directory is reported — the caller promised
+// durability, not just atomicity.
+func syncDir(dir string) (err error) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = syncFile(d)
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile loads a snapshot from path (see Load for the validation

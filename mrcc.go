@@ -19,6 +19,7 @@ package mrcc
 
 import (
 	"context"
+	"fmt"
 
 	"mrcc/internal/core"
 	"mrcc/internal/ctree"
@@ -103,6 +104,22 @@ type Dataset = dataset.Dataset
 // built by an earlier process.
 type Tree = ctree.Tree
 
+// NewTree returns an empty Counting-tree of dimensionality d with h
+// resolutions, ready for incremental growth: feed it normalized
+// batches with InsertBatch (or points with Insert) and recluster at
+// any time with RunDatasetOnTree — the streaming loop the
+// examples/streaming program and the mrcc-serve service run. Pass
+// DefaultH for the paper's resolution count.
+func NewTree(d, h int) (*Tree, error) {
+	if d < 1 || d > ctree.MaxDims {
+		return nil, fmt.Errorf("mrcc: dimensionality %d outside [1, %d]", d, ctree.MaxDims)
+	}
+	if h < ctree.MinLevels || h > ctree.MaxLevels {
+		return nil, fmt.Errorf("mrcc: H %d outside [%d, %d]", h, ctree.MinLevels, ctree.MaxLevels)
+	}
+	return ctree.New(d, h), nil
+}
+
 // TreeFormatError reports a snapshot file LoadTree refused: wrong
 // magic or version, inconsistent geometry, a checksum mismatch, or
 // column data that does not describe a well-formed tree. Every load
@@ -127,9 +144,10 @@ func LoadTree(path string) (*Tree, error) {
 // RunDatasetOnTree clusters the dataset over a pre-built Counting-tree
 // (from Result.Tree or LoadTree), skipping phase one. The dataset must
 // be the normalized one the tree was built from — dimensionality and
-// point count are checked, and the run consumes the tree's Used flags
-// (call Tree.ResetUsed between reruns). It is exactly
-// RunDatasetOnTreeContext with a background context.
+// point count are checked. Rerunning on the same tree is safe and
+// yields the same Result: the run clears the tree's Used flags itself
+// at entry. It is exactly RunDatasetOnTreeContext with a background
+// context.
 func RunDatasetOnTree(t *Tree, ds *Dataset, cfg Config) (*Result, error) {
 	return core.RunOnTree(t, ds, cfg)
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Smoke test for cmd/mrcc-serve: boot the service on an ephemeral port,
+# ingest two cluster batches, check that query answers change once the
+# re-cluster loop absorbs the second batch, and shut down cleanly on
+# SIGTERM. CI runs this (job "serve-smoke"); it also runs locally:
+#
+#   ./scripts/serve_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="$(mktemp -d)/mrcc-serve"
+out="$(mktemp)"
+go build -o "$bin" ./cmd/mrcc-serve
+
+"$bin" -addr 127.0.0.1:0 -dims 3 \
+  -recluster-every 300ms -recluster-points 500 \
+  >"$out" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# The server prints "mrcc-serve listening on HOST:PORT" once bound.
+for _ in $(seq 50); do
+  addr="$(sed -n 's/^mrcc-serve listening on //p' "$out")"
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died during boot:"; cat "$out"; exit 1; }
+  sleep 0.1
+done
+[ -n "${addr:-}" ] || { echo "server never reported its address:"; cat "$out"; exit 1; }
+base="http://$addr"
+echo "server up at $base"
+
+# blob N points around (x,y,z) with +/-0.01 jitter, as CSV.
+blob() {
+  awk -v n="$1" -v x="$2" -v y="$3" -v z="$4" 'BEGIN {
+    srand(7)
+    for (i = 0; i < n; i++)
+      printf "%.5f,%.5f,%.5f\n", x+0.02*(rand()-0.5), y+0.02*(rand()-0.5), z+0.02*(rand()-0.5)
+  }'
+}
+
+# query prints the JSON answer for a point (or the error body).
+query() { curl -sS "$base/query?p=$1"; }
+
+# Batch one: a blob at (0.2, 0.2, 0.2). The 1000 points cross the
+# -recluster-points threshold, so a view appears without waiting for
+# the cadence.
+blob 1000 0.2 0.2 0.2 | curl -sS -f -X POST -H 'Content-Type: text/csv' \
+  --data-binary @- "$base/ingest" >/dev/null
+
+for _ in $(seq 100); do
+  query 0.2,0.2,0.2 | grep -q '"noise": false' && break
+  sleep 0.1
+done
+query 0.2,0.2,0.2 | grep -q '"noise": false' \
+  || { echo "first blob never became a cluster:"; query 0.2,0.2,0.2; exit 1; }
+query 0.8,0.8,0.8 | grep -q '"noise": true' \
+  || { echo "far corner should be noise before batch two:"; query 0.8,0.8,0.8; exit 1; }
+echo "view 1 ok: first blob clustered, far corner is noise"
+
+# Batch two: a blob at (0.8, 0.8, 0.8). After the next re-cluster tick
+# the same query must flip from noise to a cluster hit — the published
+# view actually tracks the stream.
+blob 1000 0.8 0.8 0.8 | curl -sS -f -X POST -H 'Content-Type: text/csv' \
+  --data-binary @- "$base/ingest" >/dev/null
+
+for _ in $(seq 100); do
+  query 0.8,0.8,0.8 | grep -q '"noise": false' && break
+  sleep 0.1
+done
+query 0.8,0.8,0.8 | grep -q '"noise": false' \
+  || { echo "query answer never changed after the re-cluster tick:"; query 0.8,0.8,0.8; exit 1; }
+echo "view 2 ok: second blob clustered after re-cluster tick"
+
+curl -sS -f "$base/stats" >/dev/null
+curl -sS -f "$base/healthz" >/dev/null
+
+# Clean SIGTERM: the process must drain and exit 0.
+kill -TERM "$pid"
+wait "$pid" || { echo "server exited non-zero on SIGTERM:"; cat "$out"; exit 1; }
+trap - EXIT
+echo "serve smoke ok"

@@ -51,8 +51,7 @@ func TestSaveLoadTreeWarmStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The snapshot preserves the Used flags the first run consumed;
-	// clear them before reclustering, as RunDatasetOnTree documents.
-	loaded.ResetUsed()
+	// RunDatasetOnTree clears them itself, so no manual ResetUsed.
 	warm, err := mrcc.RunDatasetOnTree(loaded, norm, mrcc.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +68,63 @@ func TestSaveLoadTreeWarmStart(t *testing.T) {
 	}
 	if len(first.Betas) == 0 {
 		t.Fatal("degenerate dataset: no β-clusters, warm-start equivalence is vacuous")
+	}
+}
+
+// TestStreamingLoopShape pins the exact loop examples/streaming and
+// the mrcc-serve service run, expressed through the facade: grow one
+// tree with InsertBatch, recluster on it after every batch with no
+// manual Used-flag handling, and carry the tree across a
+// SaveTree/LoadTree hand-off at the end. The final warm run must match
+// the last in-loop run exactly.
+func TestStreamingLoopShape(t *testing.T) {
+	rows := twoClusterRows(1, 400)
+	tree, err := mrcc.NewTree(len(rows[0]), mrcc.DefaultH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := mrcc.NewDataset(len(rows[0]), len(rows))
+
+	var last *mrcc.Result
+	const batch = 300
+	for start := 0; start < len(rows); start += batch {
+		end := min(start+batch, len(rows))
+		if err := tree.InsertBatch(rows[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range rows[start:end] {
+			seen.Append(p)
+		}
+		// No ResetUsed between iterations: the run clears the flags the
+		// previous pass consumed.
+		last, err = mrcc.RunDatasetOnTree(tree, seen, mrcc.Config{})
+		if err != nil {
+			t.Fatalf("batch ending at %d: %v", end, err)
+		}
+	}
+	if len(last.Betas) == 0 {
+		t.Fatal("degenerate stream: final pass found no β-clusters")
+	}
+
+	// Snapshot hand-off, exactly as the example ends.
+	path := filepath.Join(t.TempDir(), "stream.snap")
+	if _, err := mrcc.SaveTree(path, tree); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mrcc.LoadTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := mrcc.RunDatasetOnTree(loaded, seen, mrcc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(last.Labels, warm.Labels) {
+		t.Fatal("warm run after the snapshot hand-off labeled points differently")
+	}
+	if len(last.Clusters) != len(warm.Clusters) || len(last.Betas) != len(warm.Betas) {
+		t.Fatalf("warm run found %d clusters / %d betas, final loop pass %d / %d",
+			len(warm.Clusters), len(warm.Betas), len(last.Clusters), len(last.Betas))
 	}
 }
 
