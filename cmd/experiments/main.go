@@ -8,9 +8,15 @@
 //	experiments -fig fig5-first [-scale 0.1] [-methods MrCC,LAC] [-sweep] [-workers 0]
 //	experiments -fig all -scale 0.05
 //	experiments -benchstats results/bench_stats.json [-scale 0.05] [-workers 4]
-//	experiments -benchscan results/bench_scan.json [-scale 0.05]
-//	experiments -benchbuild results/bench_build.json [-scale 0.05]
+//	experiments -benchscan results/bench_scan.json [-scale 0.05] [-workers 1,2,8] [-minscanpps 50000]
+//	experiments -benchbuild results/bench_build.json [-scale 0.05] [-workers 1,2,8] [-minbuildpps 200000]
 //	experiments -benchsnapshot results/bench_snapshot.json [-scale 0.05]
+//
+// -workers accepts either one count (0 = all CPUs) or a comma list;
+// the bench runners sweep every listed count, so CI can probe serial
+// and parallel rows in one invocation. -minbuildpps / -minscanpps turn
+// the bench smokes into regression gates: the run exits 1 when the
+// best row's points/s lands below the floor.
 //
 // -benchstats runs the parallel-pipeline benchmark dataset once per
 // worker count with the observability layer on and writes the records
@@ -43,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,21 +64,29 @@ func main() {
 		methods = flag.String("methods", "", "comma-separated method filter (e.g. MrCC,LAC,EPCH)")
 		sweep   = flag.Bool("sweep", false, "run the full per-method parameter sweeps of Section IV-E")
 		harpCap = flag.Int("harpcap", 1000, "subsample cap for HARP (0 = uncapped; quadratic!)")
-		workers = flag.Int("workers", 0, "MrCC pipeline parallelism (0 = all CPUs, 1 = serial)")
+		workers = flag.String("workers", "0", "MrCC pipeline parallelism: one count (0 = all CPUs, 1 = serial) or a comma list (e.g. 1,2,8) swept by the bench runners")
 		csvOut  = flag.String("csv", "", "also export the measurements to this CSV file")
 		bench   = flag.String("benchstats", "", "write pipeline bench stats (JSON) to this path (\"-\" = stdout) and exit")
 		scan    = flag.String("benchscan", "", "write β-search scan bench records (JSON) to this path (\"-\" = stdout) and exit")
 		build   = flag.String("benchbuild", "", "write tree-build bench records (JSON) to this path (\"-\" = stdout) and exit")
 		snap    = flag.String("benchsnapshot", "", "write snapshot/external-build bench record (JSON) to this path (\"-\" = stdout) and exit")
+
+		minBuildPPS = flag.Float64("minbuildpps", 0, "with -benchbuild: fail (exit 1) unless the best row reaches this many points/s — the CI regression floor")
+		minScanPPS  = flag.Float64("minscanpps", 0, "with -benchscan: fail (exit 1) unless the best cached row's β-search reaches this many points/s — the CI regression floor")
 	)
 	flag.Parse()
+	workerList, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	if *list {
 		for _, f := range experiments.FigureIDs() {
 			fmt.Printf("%-14s %s\n", f.ID, f.Description)
 		}
 		return
 	}
-	opt := experiments.Options{Scale: *scale, HarpCap: *harpCap, Sweep: *sweep, Workers: *workers}
+	opt := experiments.Options{Scale: *scale, HarpCap: *harpCap, Sweep: *sweep, Workers: workerList[0]}
 	if *methods != "" {
 		opt.Methods = strings.Split(*methods, ",")
 	}
@@ -83,14 +98,14 @@ func main() {
 		return
 	}
 	if *scan != "" {
-		if err := runBenchScan(*scan, opt); err != nil {
+		if err := runBenchScan(*scan, opt, workerList, *minScanPPS); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *build != "" {
-		if err := runBenchBuild(*build, opt); err != nil {
+		if err := runBenchBuild(*build, opt, workerList, *minBuildPPS); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -149,6 +164,38 @@ func main() {
 	}
 }
 
+// parseWorkers parses the -workers flag: a single count or a comma
+// list. An empty flag (or "0") yields [0] — the all-CPUs default.
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return []int{0}, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-workers: %q is not a non-negative integer count", p)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// benchSweep turns the parsed -workers list into the sweep a bench
+// runner receives: an explicit multi-entry list is used verbatim, a
+// single count >1 keeps the legacy serial-vs-that-count pairing, and
+// 0/1 selects the runner's default sweep (nil).
+func benchSweep(workerList []int) []int {
+	if len(workerList) > 1 {
+		return workerList
+	}
+	if workerList[0] > 1 {
+		return []int{1, workerList[0]}
+	}
+	return nil
+}
+
 // runBenchStats runs the pipeline bench (serial plus the configured
 // worker count) and writes the JSON records to path or stdout.
 func runBenchStats(path string, opt experiments.Options) error {
@@ -183,15 +230,38 @@ func runBenchStats(path string, opt experiments.Options) error {
 }
 
 // runBenchScan runs the β-search scan bench (naive baseline plus the
-// cached scan at 1/4/8 workers) and writes the JSON records to path or
-// stdout.
-func runBenchScan(path string, opt experiments.Options) error {
-	records, err := experiments.BenchScan(opt, nil)
+// cached scan at the swept worker counts, 1/4/8 by default), writes
+// the JSON records to path or stdout, and enforces the optional
+// points/s regression floor on the best cached row.
+func runBenchScan(path string, opt experiments.Options, workerList []int, minPPS float64) error {
+	records, err := experiments.BenchScan(opt, benchSweep(workerList))
 	if err != nil {
 		return err
 	}
+	checkFloor := func() error {
+		if minPPS <= 0 {
+			return nil
+		}
+		var best float64
+		for _, r := range records {
+			if r.Mode != "cached" || r.BetaSearchSeconds <= 0 {
+				continue
+			}
+			if pps := float64(r.Points) / r.BetaSearchSeconds; pps > best {
+				best = pps
+			}
+		}
+		if best < minPPS {
+			return fmt.Errorf("benchscan: best cached β-search throughput %.0f points/s is below the regression floor %.0f", best, minPPS)
+		}
+		fmt.Fprintf(os.Stderr, "benchscan: floor ok (%.0f >= %.0f points/s)\n", best, minPPS)
+		return nil
+	}
 	if path == "-" {
-		return experiments.WriteBenchScan(os.Stdout, records)
+		if err := experiments.WriteBenchScan(os.Stdout, records); err != nil {
+			return err
+		}
+		return checkFloor()
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -214,23 +284,39 @@ func runBenchScan(path string, opt experiments.Options) error {
 		}
 	}
 	fmt.Printf("wrote %d bench-scan records to %s\n", len(records), path)
-	return nil
+	return checkFloor()
 }
 
 // runBenchBuild runs the tree-build bench (serial sorted-batch build
-// plus BuildParallel at 4 and 8 workers, or the configured count) and
-// writes the JSON records to path or stdout.
-func runBenchBuild(path string, opt experiments.Options) error {
-	var counts []int
-	if opt.Workers > 1 {
-		counts = []int{1, opt.Workers}
-	}
-	records, err := experiments.BenchBuild(opt, counts)
+// plus the parallel sort-and-merge build at the swept worker counts),
+// writes the JSON records to path or stdout, and enforces the optional
+// points/s regression floor on the best row.
+func runBenchBuild(path string, opt experiments.Options, workerList []int, minPPS float64) error {
+	records, err := experiments.BenchBuild(opt, benchSweep(workerList))
 	if err != nil {
 		return err
 	}
+	checkFloor := func() error {
+		if minPPS <= 0 {
+			return nil
+		}
+		var best float64
+		for _, r := range records {
+			if r.PointsPerSec > best {
+				best = r.PointsPerSec
+			}
+		}
+		if best < minPPS {
+			return fmt.Errorf("benchbuild: best build throughput %.0f points/s is below the regression floor %.0f", best, minPPS)
+		}
+		fmt.Fprintf(os.Stderr, "benchbuild: floor ok (%.0f >= %.0f points/s)\n", best, minPPS)
+		return nil
+	}
 	if path == "-" {
-		return experiments.WriteBenchBuild(os.Stdout, records)
+		if err := experiments.WriteBenchBuild(os.Stdout, records); err != nil {
+			return err
+		}
+		return checkFloor()
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -253,7 +339,7 @@ func runBenchBuild(path string, opt experiments.Options) error {
 		}
 	}
 	fmt.Printf("wrote %d bench-build records to %s\n", len(records), path)
-	return nil
+	return checkFloor()
 }
 
 // runBenchSnapshot runs the persistence bench (snapshot save/load

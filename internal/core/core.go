@@ -73,6 +73,15 @@ type Config struct {
 	// bit-identical to the naive one (scan_equiv_test.go), so there is
 	// never a functional reason to set it.
 	NaiveScan bool
+	// NoCacheRepair disables the incremental eligibility repair of the
+	// one-shot scan cache: every restart pass re-walks each level's
+	// cached order from the top instead of resuming past the permanently
+	// retired ineligible prefix (scancache.go). Like NaiveScan it exists
+	// only for the equivalence suite and the phase-two benchmark — the
+	// repaired scan is pinned bit-identical to the full re-walk
+	// (TestScanCacheEquivalence), so there is never a functional reason
+	// to set it.
+	NoCacheRepair bool
 	// Workers sets the parallelism of the pipeline: the Counting-tree
 	// build, the convolution scan, and point labeling all fan out over
 	// this many goroutines. 0 selects GOMAXPROCS; 1 forces the serial
@@ -563,7 +572,7 @@ func runOnTreeAbortable(t *ctree.Tree, ds *dataset.Dataset, cfg Config, col *obs
 	treeBytes := t.MemoryBytes() + t.IndexMemoryBytes()
 	col.SetTreeBytes(treeBytes)
 	runs, runPoints := t.BatchRuns()
-	col.SetArenaStats(t.ArenaBytes(), t.ArenaGrows(), runs, runPoints)
+	col.SetArenaStats(t.ArenaBytes(), t.ArenaGrows(), runs, runPoints, t.RadixChunks())
 	if spillRuns, spillBytes := t.SpillStats(); spillRuns > 0 {
 		col.SetSpillStats(spillRuns, spillBytes)
 	}
@@ -937,13 +946,26 @@ func buildClusters(betas []BetaCluster, d int) (clusters []Cluster, merges int) 
 // aborter at segment boundaries, so cancellation is observed within a
 // few thousand points; a worker panic is contained by the fan-out and
 // surfaces as the returned error.
+//
+// The per-point box tests run through labelChunk over β bounds
+// flattened into two stride-d slabs: the setup here allocates once per
+// labeling call, the kernel itself allocates nothing (pinned by
+// TestLabelChunkZeroAlloc), and workers share the read-only slabs with
+// no per-worker state at all.
 func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, workers int, col *obs.Collector, ab *aborter) ([]int, error) {
+	d := ds.Dims
 	labels := make([]int, ds.Len())
 	betaOwner := make([]int, len(betas))
 	for _, c := range clusters {
 		for _, b := range c.Betas {
 			betaOwner[b] = c.ID
 		}
+	}
+	betaL := make([]float64, len(betas)*d)
+	betaU := make([]float64, len(betas)*d)
+	for bi := range betas {
+		copy(betaL[bi*d:(bi+1)*d], betas[bi].L)
+		copy(betaU[bi*d:(bi+1)*d], betas[bi].U)
 	}
 	total := int64(ds.Len())
 	labelRange := func(lo, hi int) error {
@@ -955,20 +977,7 @@ func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, w
 			if err := ab.check(fault.LabelChunk); err != nil {
 				return err
 			}
-			var noise int64 // plain locals in the hot loop; merged once per segment
-			for i := seg; i < end; i++ {
-				pt := ds.Points[i]
-				labels[i] = Noise
-				for bi := range betas {
-					if containsPoint(&betas[bi], pt) {
-						labels[i] = betaOwner[bi]
-						break
-					}
-				}
-				if labels[i] == Noise {
-					noise++
-				}
-			}
+			noise := labelChunk(ds.Points[seg:end], labels[seg:end], betaL, betaU, betaOwner, d)
 			n := int64(end - seg)
 			done := col.AddLabeled(n-noise, noise)
 			if col.WantsProgress() {
@@ -987,6 +996,43 @@ func labelPoints(ds *dataset.Dataset, betas []BetaCluster, clusters []Cluster, w
 		return nil, err
 	}
 	return labels, nil
+}
+
+// labelChunk is the labeling hot kernel: it labels pts[i] into
+// labels[i] by the first β-cluster box (flattened into the stride-d
+// betaL/betaU slabs) containing the point, or Noise, and returns the
+// noise count. It allocates nothing and touches no shared mutable
+// state, so disjoint chunks run concurrently with no synchronization.
+//
+// Every axis is checked, not just the relevant ones: irrelevant axes
+// span [0,1], which points of a VALIDATED dataset always satisfy — but
+// RunOnTree accepts datasets the tree build never saw, and an
+// out-of-range coordinate must fail the box test exactly as
+// BetaCluster.SharesSpace-style interval logic always has.
+func labelChunk(pts [][]float64, labels []int, betaL, betaU []float64, betaOwner []int, d int) (noise int64) {
+	for i, pt := range pts {
+		lb := Noise
+		for bi := range betaOwner {
+			l := betaL[bi*d : bi*d+d : bi*d+d]
+			u := betaU[bi*d : bi*d+d : bi*d+d]
+			inside := true
+			for j, v := range pt {
+				if v < l[j] || v > u[j] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				lb = betaOwner[bi]
+				break
+			}
+		}
+		labels[i] = lb
+		if lb == Noise {
+			noise++
+		}
+	}
+	return noise
 }
 
 // containsPoint reports whether the β-cluster box contains the point

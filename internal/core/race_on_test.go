@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation allocates per memory access and
+// makes allocation budgets meaningless.
+const raceEnabled = true

@@ -12,10 +12,13 @@ import (
 // TestScanCacheEquivalence pins the cached incremental β-search
 // (scancache.go, the default) bit-identical to the naive re-convolving
 // scan it replaced (Config.NaiveScan), end to end: same β-cluster list
-// (bounds, relevances, centers), same clusters, same labels. The matrix
-// spans dims {5, 10, 18} × workers {1, 2, 8} × face/full mask; the full
-// mask is O(3^d) per cell, so it runs at d=5 always and d=10 only
-// without -short, never at d=18.
+// (bounds, relevances, centers), same clusters, same labels. Each entry
+// additionally runs the cached scan with Config.NoCacheRepair — the
+// full eligibility re-walk — and pins it identical to the repaired
+// default, so the repair-cursor optimization is swept over the same
+// matrix. The matrix spans dims {5, 10, 18} × workers {1, 2, 8} ×
+// face/full mask; the full mask is O(3^d) per cell, so it runs at d=5
+// always and d=10 only without -short, never at d=18.
 func TestScanCacheEquivalence(t *testing.T) {
 	cases := []struct {
 		name     string
@@ -115,6 +118,9 @@ func TestScanCacheEquivalence(t *testing.T) {
 			naiveCfg.Workers = tc.workers
 			cachedCfg := tc.cfg
 			cachedCfg.Workers = tc.workers
+			fullCfg := tc.cfg
+			fullCfg.Workers = tc.workers
+			fullCfg.NoCacheRepair = true
 			naive, err := core.Run(ds, naiveCfg)
 			if err != nil {
 				t.Fatalf("naive run: %v", err)
@@ -123,7 +129,12 @@ func TestScanCacheEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("cached run: %v", err)
 			}
+			noRepair, err := core.Run(ds, fullCfg)
+			if err != nil {
+				t.Fatalf("no-repair run: %v", err)
+			}
 			assertResultsIdentical(t, naive, cached)
+			assertResultsIdentical(t, cached, noRepair)
 			if len(naive.Betas) == 0 {
 				t.Fatal("degenerate table entry: no β-clusters found, equivalence is vacuous")
 			}

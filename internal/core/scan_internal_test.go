@@ -132,6 +132,100 @@ func TestDensestCellAllBetaOverlapped(t *testing.T) {
 	}
 }
 
+// TestCacheRepairMatchesFullRebuildPerPass steps the restart loop by
+// hand with THREE searchers over one tree — naive, cached-with-repair
+// (the default) and cached-without-repair (NoCacheRepair) — and
+// demands identical winners on every pass and level while Used flags
+// flip and β-clusters accumulate. This pins the repair cursor at scan
+// granularity, which the end-to-end sweep cannot (it only sees final
+// results).
+func TestCacheRepairMatchesFullRebuildPerPass(t *testing.T) {
+	tr, _ := scanPairTree(t, synthetic.Config{
+		Dims: 5, Points: 5000, Clusters: 3, NoiseFrac: 0.15,
+		MinClusterDim: 3, MaxClusterDim: 5, Seed: 212,
+	}, 5)
+	naive := &searcher{tree: tr, cfg: Config{NaiveScan: true}, workers: 1}
+	repaired := &searcher{tree: tr, cfg: Config{}, workers: 1}
+	rebuilt := &searcher{tree: tr, cfg: Config{NoCacheRepair: true}, workers: 1}
+	hits := 0
+	for pass := 0; pass < 40; pass++ {
+		progressed := false
+		for h := 2; h <= tr.H-1; h++ {
+			np, nc, nv := naive.densestCell(h)
+			rp, rc, rv := repaired.densestCell(h)
+			fp, fc, fv := rebuilt.densestCell(h)
+			if nc != rc || nc != fc {
+				t.Fatalf("pass %d level %d: winners differ: naive ref %d, repaired ref %d, rebuilt ref %d",
+					pass, h, nc, rc, fc)
+			}
+			if nc == ctree.NilRef {
+				continue
+			}
+			if np.Compare(rp) != 0 || np.Compare(fp) != 0 || nv != rv || nv != fv {
+				t.Fatalf("pass %d level %d: path/value mismatch: naive (%v,%d), repaired (%v,%d), rebuilt (%v,%d)",
+					pass, h, np, nv, rp, rv, fp, fv)
+			}
+			tr.SetUsed(nc, true)
+			progressed = true
+			hits++
+			if hits%3 == 0 {
+				b := betaFromCell(tr, np)
+				naive.betas = append(naive.betas, b)
+				repaired.betas = append(repaired.betas, b)
+				rebuilt.betas = append(rebuilt.betas, b)
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if hits < 5 {
+		t.Fatalf("only %d scan winners exercised; per-pass pin is too weak", hits)
+	}
+}
+
+// TestCacheRepairAllCellsFlipInOnePass is the adversarial repair case:
+// between two scans of one level, EVERY cell flips ineligible at once
+// (a [0,1]^d β-cluster lands in the overlap set). The repair cursor
+// must retire the entire order in that single pass — the scan comes
+// back empty, the cursor sits at the end — and the pass after that
+// must answer from the cursor alone without re-examining any entry.
+func TestCacheRepairAllCellsFlipInOnePass(t *testing.T) {
+	tr, _ := scanPairTree(t, synthetic.Config{
+		Dims: 4, Points: 2000, Clusters: 2, NoiseFrac: 0.1,
+		MinClusterDim: 2, MaxClusterDim: 4, Seed: 213,
+	}, 4)
+	s := &searcher{tree: tr, cfg: Config{}, workers: 1}
+	const h = 2
+	// Pass 1: a fresh level must yield a winner and leave the cursor at
+	// its position (nothing before it was skipped on a fresh tree).
+	if _, c, _ := s.densestCellCached(h); c == ctree.NilRef {
+		t.Fatal("fresh level found no densest cell")
+	}
+	// The flip: every cell of every level becomes β-overlapping.
+	cube := BetaCluster{L: make([]float64, tr.D), U: make([]float64, tr.D)}
+	for j := range cube.U {
+		cube.U[j] = 1
+	}
+	s.betas = append(s.betas, cube)
+	n := tr.LevelCellCount(h)
+	if _, c, _ := s.densestCellCached(h); c != ctree.NilRef {
+		t.Fatalf("level %d: found ref %d despite full-cube β-overlap", h, c)
+	}
+	sc := s.scans[h]
+	if int(sc.start) != n {
+		t.Fatalf("repair cursor sits at %d after the all-flip pass, want %d (whole order retired)", sc.start, n)
+	}
+	// Pass 3: the retired prefix is never re-examined — the scan must
+	// answer "empty" straight from the cursor. Poison the β list so any
+	// overlap re-check would now (wrongly) report eligibility; a correct
+	// cursor never consults it.
+	s.betas = s.betas[:0]
+	if _, c, _ := s.densestCellCached(h); c != ctree.NilRef {
+		t.Fatalf("level %d: retired entry resurfaced after the β list was cleared (ref %d): cursor not honored", h, c)
+	}
+}
+
 // TestDensestCellSingleCellLevel pins both scans on a level of exactly
 // one cell: the lone cell must win, then — once Used — the level must
 // come back empty from both.

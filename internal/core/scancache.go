@@ -32,10 +32,23 @@ import (
 )
 
 // levelScan is one level's cached, ordered convolution snapshot.
+//
+// start is the incremental-repair cursor: order[:start] is the prefix
+// of entries already observed ineligible. Within one searcher lifetime
+// ineligibility is monotone — the restart loop only ever SETS Used
+// flags (ResetUsed runs before the searcher exists) and the β-cluster
+// list is append-only, so a cell that overlaps any β-cluster overlaps
+// it forever. A retired entry can therefore never become eligible
+// again, and each restart pass resumes the skip-scan at start instead
+// of re-deriving the whole prefix's eligibility: the per-pass cost is
+// O(newly flipped cells), not O(all previously skipped cells).
+// Config.NoCacheRepair restores the full re-walk for the equivalence
+// sweep.
 type levelScan struct {
 	ix    *ctree.LevelIndex
 	vals  []int64 // mask value per index entry
 	order []int32 // entry indices, (value desc, path asc) order
+	start int32   // repair cursor: order[:start] is permanently ineligible
 }
 
 // levelScan returns the cached snapshot for level h, building it on
@@ -171,6 +184,14 @@ func (s *searcher) buildLevelScan(h int) (*levelScan, error) {
 // cached order — by construction the same (cell, value) the naive
 // per-pass argmax scan selects — or (nil, NilRef, 0) when every entry
 // is Used or β-overlapping.
+//
+// The default path resumes at the level's repair cursor and retires
+// every ineligible entry it passes (see levelScan): entries whose Used
+// flag or β-overlap status did not change since the previous pass are
+// never re-examined, so the pass costs O(changed) eligibility checks.
+// With Config.NoCacheRepair the scan re-walks the order from the top
+// — the full-rebuild baseline the equivalence sweep compares against —
+// and the cursor is neither read nor advanced.
 func (s *searcher) densestCellCached(h int) (ctree.Path, ctree.Ref, int64) {
 	sc, err := s.levelScan(h)
 	if err != nil {
@@ -180,16 +201,31 @@ func (s *searcher) densestCellCached(h int) (ctree.Path, ctree.Ref, int64) {
 		s.failWorker(err)
 		return nil, ctree.NilRef, 0
 	}
+	repair := !s.cfg.NoCacheRepair
+	from := int(sc.start)
+	if !repair {
+		from = 0
+		s.col.AddCacheFullRebuild()
+	}
 	var skips int64
-	for pos, idx := range sc.order {
+	for pos := from; pos < len(sc.order); pos++ {
+		idx := sc.order[pos]
 		if sc.ix.Used(int(idx)) || s.overlapsBetaIndexed(sc.ix, int(idx)) {
 			skips++
 			continue
 		}
-		s.col.AddScanProbe(skips, int64(pos+1))
+		if repair && pos > from {
+			s.col.AddCacheRepair(int64(pos - from))
+			sc.start = int32(pos)
+		}
+		s.col.AddScanProbe(skips, int64(pos-from+1))
 		return sc.ix.PathOf(int(idx)), sc.ix.Ref(int(idx)), sc.vals[idx]
 	}
-	s.col.AddScanProbe(skips, int64(len(sc.order)))
+	if repair && len(sc.order) > from {
+		s.col.AddCacheRepair(int64(len(sc.order) - from))
+		sc.start = int32(len(sc.order))
+	}
+	s.col.AddScanProbe(skips, int64(len(sc.order)-from))
 	return nil, ctree.NilRef, 0
 }
 

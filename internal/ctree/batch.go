@@ -11,6 +11,15 @@
 // run length at once, and only the deepest level's half-space update
 // (which depends on each point's level-H parity) stays per point.
 //
+// The quantize pass is branch-reduced (DESIGN.md §12): one float
+// multiply + floor per coordinate gives the level-H grid value, the
+// parity word accumulates in the same loop, and validation is a single
+// unsigned comparison on the float's bit pattern (valid exactly when
+// bits < bits(1.0) or the value is -0.0, which quantizes to cell 0
+// like +0.0) instead of the three-way range-and-NaN test. A chunk that
+// does contain an invalid point re-runs the slow validator to
+// reproduce the exact historical error text.
+//
 // Determinism: the sort key is the path itself with the point's
 // original chunk index as the tie-break, so the permutation — and with
 // it the first-touch cell order — is a pure function of the chunk's
@@ -21,31 +30,58 @@
 // memory accounting identical — see arena.go).
 //
 // When d·(H-1) <= 64 bits the whole path packs into one uint64 and the
-// sort compares single words; otherwise the key is the H-1 loc words
-// compared lexicographically. Quantization at level H is bit-exact with
-// the per-level locAtLevel arithmetic: v·2^H is an exact float64
-// product (power-of-two scale), so floor(v·2^h) == floor(v·2^H) >>
-// (H-h) for every level h.
+// chunk sorts with the LSD radix kernels of radix.go — usually as one
+// combo word per point, (key << idxBits | index), whose plain integer
+// order IS the (path, index) order. Multi-word keys (d·(H-1) > 64)
+// fall back to slices.SortFunc over the permutation. Quantization at
+// level H is bit-exact with the per-level locAtLevel arithmetic:
+// v·2^H is an exact float64 product (power-of-two scale), so
+// floor(v·2^h) == floor(v·2^H) >> (H-h) for every level h.
 package ctree
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 )
 
+// f64OneBits is the bit pattern of float64(1.0): a float is a valid
+// normalized coordinate exactly when its bits are below this (covering
+// [+0, 1) — NaNs, infinities and values >= 1 all compare higher) or
+// equal to f64NegZeroBits.
+const f64OneBits = 0x3FF0000000000000
+
+// f64NegZeroBits is the bit pattern of -0.0, the single sign-bit
+// pattern that still quantizes into the grid (uint64(-0.0 · 2^H) == 0,
+// identical to +0.0 — the slow validator accepts it, so the fast one
+// must too).
+const f64NegZeroBits = uint64(1) << 63
+
 // batchInserter holds the reusable scratch of one build's chunk loop:
-// quantized coordinates, sort keys, the permutation, and the descent
-// stack resumed across runs. One inserter serves one tree.
+// parity words, sort keys, the permutation, and the descent stack
+// resumed across runs. One inserter serves one tree.
 type batchInserter struct {
 	t      *Tree
 	packed bool // whole path fits one uint64 (d·(H-1) <= 64)
 	words  int  // key words per point (1 when packed)
 
-	q   []uint64 // level-H grid coords, point i at q[i*d:(i+1)*d]
-	key []uint64 // sort keys, point i at key[i*words:(i+1)*words]
-	ord []int32  // sort permutation over the chunk
+	leaf []uint64 // level-H parity word, indexed by original chunk index
+	qi   []uint64 // d-word quantize scratch, reused across points
+
+	// Combo layout (packed key, key+index bits fit one word): the only
+	// sorted state is one word per point.
+	combo    []uint64
+	comboTmp []uint64
+
+	// Pair layout (packed key, combo word would overflow): the key
+	// column with the original index as payload.
+	key    []uint64 // also the multi-word key slab, point i at key[i*words:(i+1)*words]
+	keyTmp []uint64
+	pay    []uint64
+	payTmp []uint64
+
+	ord []int32 // sort permutation (multi-word layout only)
 
 	// Descent stack: refs[h]/locs[h] address the level-h cell of the
 	// current run's path (refs[0] is the root sentinel); the first
@@ -62,6 +98,7 @@ func newBatchInserter(t *Tree) *batchInserter {
 	if !b.packed {
 		b.words = t.H - 1
 	}
+	b.qi = make([]uint64, t.D)
 	b.refs = make([]Ref, t.H)
 	b.refs[0] = rootRef
 	b.locs = make([]uint64, t.H)
@@ -69,37 +106,19 @@ func newBatchInserter(t *Tree) *batchInserter {
 	return b
 }
 
-// Len, Less, Swap sort the chunk permutation by (path key asc, original
-// index asc); the index tie-break makes the order total, hence the
-// permutation deterministic.
-func (b *batchInserter) Len() int { return len(b.ord) }
-
-func (b *batchInserter) Swap(i, j int) { b.ord[i], b.ord[j] = b.ord[j], b.ord[i] }
-
-func (b *batchInserter) Less(i, j int) bool {
-	a, c := b.ord[i], b.ord[j]
-	if b.packed {
-		if ka, kc := b.key[a], b.key[c]; ka != kc {
-			return ka < kc
-		}
-		return a < c
+// growU64 resizes *s to n elements, reallocating only when the
+// capacity is short, and returns the sized slice.
+func growU64(s *[]uint64, n int) []uint64 {
+	if cap(*s) < n {
+		*s = make([]uint64, n)
 	}
-	w := b.words
-	ka := b.key[int(a)*w : int(a)*w+w]
-	kc := b.key[int(c)*w : int(c)*w+w]
-	for k := 0; k < w; k++ {
-		if ka[k] != kc[k] {
-			return ka[k] < kc[k]
-		}
-	}
-	return a < c
+	*s = (*s)[:n]
+	return *s
 }
 
-// keysEqual reports whether points a and c share the full stored path.
+// keysEqual reports whether points a and c share the full stored path
+// (multi-word layout).
 func (b *batchInserter) keysEqual(a, c int32) bool {
-	if b.packed {
-		return b.key[a] == b.key[c]
-	}
 	w := b.words
 	ka := b.key[int(a)*w : int(a)*w+w]
 	kc := b.key[int(c)*w : int(c)*w+w]
@@ -111,37 +130,35 @@ func (b *batchInserter) keysEqual(a, c int32) bool {
 	return true
 }
 
-// extractLocs unpacks point pi's per-level locs into cand[1..H-1].
-func (b *batchInserter) extractLocs(pi int32) {
-	if b.packed {
-		b.setCandFromKey(b.key[pi : pi+1])
-		return
+// setCandPacked unpacks a single-word path key into cand[1..H-1].
+func (b *batchInserter) setCandPacked(k uint64) {
+	H := b.t.H
+	d := uint(b.t.D)
+	for h := H - 1; h >= 1; h-- {
+		b.cand[h] = k & b.t.dmask
+		k >>= d
 	}
-	b.setCandFromKey(b.key[int(pi)*b.words : (int(pi)+1)*b.words])
 }
 
 // setCandFromKey unpacks a path key — one packed word, or H-1 loc
 // words — into cand[1..H-1]. The external merge (external.go) feeds
 // keys read back from spill records through this.
 func (b *batchInserter) setCandFromKey(kw []uint64) {
-	H := b.t.H
 	if b.packed {
-		k := kw[0]
-		d := uint(b.t.D)
-		for h := H - 1; h >= 1; h-- {
-			b.cand[h] = k & b.t.dmask
-			k >>= d
-		}
+		b.setCandPacked(kw[0])
 		return
 	}
-	for h := 1; h <= H-1; h++ {
+	for h := 1; h <= b.t.H-1; h++ {
 		b.cand[h] = kw[h-1]
 	}
 }
 
 // quantizeLevelH validates one point and writes its level-H grid
 // coordinates into qi; index is the point's position in the slice the
-// caller reports errors against.
+// caller reports errors against. It is the slow, exact-error kernel:
+// the external build's spill pass uses it directly, and the fused fast
+// pass below re-runs it on the rare invalid point to reproduce the
+// historical error text.
 func quantizeLevelH(p []float64, d, H int, qi []uint64, index int) error {
 	if len(p) != d {
 		return fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", index, len(p), d)
@@ -156,8 +173,63 @@ func quantizeLevelH(p []float64, d, H int, qi []uint64, index int) error {
 	return nil
 }
 
+// quantizeFast is the branch-reduced validate+quantize kernel: one
+// unsigned comparison on the float's bit pattern replaces the
+// three-way range-and-NaN test (valid exactly when bits < bits(1.0),
+// covering [+0, 1) — NaNs, infinities, negatives and values >= 1 all
+// compare higher — plus the lone -0.0 pattern, which quantizes to cell
+// 0 like +0.0). Returns false on the first invalid coordinate; the
+// caller re-validates with quantizeLevelH for the exact error.
+//
+// Deliberately a tiny single-purpose loop: fusing it with the key pack
+// into one function measured ~40% slower than this composition
+// (BenchmarkQuantize) — the monolith's register pressure and variable
+// shifts cost more than the extra pass over the d-word qi scratch.
+// It also accumulates the level-H parity word (bit j = low bit of the
+// axis-j grid value) while the coordinate is already in a register —
+// one fewer pass than a separate leafParity call, measurably cheaper.
+//
+//go:noinline
+func quantizeFast(p []float64, scale float64, qi []uint64) (leaf uint64, ok bool) {
+	for j, v := range p {
+		if b := math.Float64bits(v); b >= f64OneBits && b != f64NegZeroBits {
+			return 0, false
+		}
+		g := uint64(v * scale)
+		qi[j] = g
+		leaf |= (g & 1) << uint(j)
+	}
+	return leaf, true
+}
+
+// quantizePackedKey validates and quantizes one point and returns its
+// packed path key and level-H parity word. ok is false when some
+// coordinate is invalid. qi is caller-owned scratch of at least d
+// words (reused across points); the caller guarantees len(p) == d and
+// d·(H-1) <= 64.
+func quantizePackedKey(p []float64, d, H int, qi []uint64) (key, leaf uint64, ok bool) {
+	leaf, ok = quantizeFast(p, float64(uint64(1)<<uint(H)), qi)
+	if !ok {
+		return 0, 0, false
+	}
+	return packedPathKey(qi, d, H), leaf, true
+}
+
+// quantizeKeyWords is quantizePackedKey for the multi-word key layout:
+// kw[h-1] receives the level-h loc word.
+func quantizeKeyWords(p []float64, d, H int, kw []uint64, qi []uint64) (leaf uint64, ok bool) {
+	leaf, ok = quantizeFast(p, float64(uint64(1)<<uint(H)), qi)
+	if !ok {
+		return 0, false
+	}
+	pathKeyWords(qi, d, H, kw)
+	return leaf, true
+}
+
 // packedPathKey packs a quantized point's level-1..H-1 path into one
-// uint64, level-major; the caller guarantees d·(H-1) <= 64.
+// uint64, level-major; the caller guarantees d·(H-1) <= 64. The spill
+// pass of the external build keys records through this.
+//go:noinline
 func packedPathKey(qi []uint64, d, H int) uint64 {
 	var k uint64
 	for h := 1; h <= H-1; h++ {
@@ -185,6 +257,7 @@ func pathKeyWords(qi []uint64, d, H int, kw []uint64) {
 // leafParity returns the level-H parity word of a quantized point: bit
 // j is the low bit of the axis-j grid coordinate — the input of the
 // deepest stored level's half-space update.
+//go:noinline
 func leafParity(qi []uint64, d int) uint64 {
 	var leaf uint64
 	for j := 0; j < d; j++ {
@@ -197,9 +270,10 @@ func leafParity(qi []uint64, d int) uint64 {
 // cand[1..H-1]: it resumes the carry-over descent stack at the first
 // diverging level, bumps N at every level and the level-1..H-2
 // half-space counters by cnt, and returns the deepest cell's P row so
-// the caller can apply the per-point leaf-parity updates. Pass 3 of
-// insert and the external merge share it; callers must present paths
-// in sorted order for the carry-over to be correct.
+// the caller can apply the per-point leaf-parity updates. The chunk
+// loop, the merged-stream parallel build and the external merge share
+// it; callers must present paths in sorted order for the carry-over to
+// be correct.
 func (b *batchInserter) countRunAt(cnt int32) []int32 {
 	t := b.t
 	H := t.H
@@ -230,6 +304,55 @@ func (b *batchInserter) countRunAt(cnt int32) []int32 {
 	return t.PRow(b.refs[H-1])
 }
 
+// countRunPacked is countRunAt specialized for the single-word key
+// layouts: the divergence level comes straight from the XOR of the
+// run's key with the previous run's (the highest differing bit lives
+// in the highest diverging level's d-bit lane), and per-level locs are
+// shifted out of the key on demand — no cand/locs array maintenance,
+// no per-level compare loop. prev is ignored when first is true.
+// Sorted key order makes the carry-over exact, as in countRunAt.
+func (b *batchInserter) countRunPacked(k, prev uint64, first bool, cnt int32) []int32 {
+	t := b.t
+	H := t.H
+	d := uint(t.D)
+	div := 1
+	if !first {
+		// Level h occupies key bits [(H-1-h)·d, (H-h)·d); the top set
+		// bit of the XOR picks the shallowest level that changed.
+		top := 63 - bits.LeadingZeros64(k^prev)
+		div = H - 1 - top/int(d)
+	}
+	for h := div; h <= H-1; h++ {
+		loc := (k >> (uint(H-1-h) * d)) & t.dmask
+		r, _ := t.ensureChild(b.refs[h-1], loc)
+		b.refs[h] = r
+	}
+	for h := 1; h <= H-1; h++ {
+		t.n[b.refs[h]] += cnt
+	}
+	for h := 1; h <= H-2; h++ {
+		row := t.PRow(b.refs[h])
+		next := (k >> (uint(H-2-h) * d)) & t.dmask
+		for ms := ^next & t.dmask; ms != 0; ms &= ms - 1 {
+			row[bits.TrailingZeros64(ms)] += cnt
+		}
+	}
+	t.runs++
+	t.runPoints += int64(cnt)
+	return t.PRow(b.refs[H-1])
+}
+
+// quantizeErr reproduces the exact per-point validation error after
+// the fused fast pass flagged the point as invalid.
+func (b *batchInserter) quantizeErr(p []float64, index int) error {
+	var qi [MaxDims]uint64
+	if err := quantizeLevelH(p, b.t.D, b.t.H, qi[:b.t.D], index); err != nil {
+		return err
+	}
+	// Unreachable: the fast and slow validators accept the same set.
+	return fmt.Errorf("ctree: point %d: invalid point", index)
+}
+
 // insert counts one chunk of points into the tree. base is the chunk's
 // offset inside the build's dataset slice, used only for error
 // messages ("point %d" is relative to the slice Build was handed,
@@ -248,40 +371,152 @@ func (b *batchInserter) insert(points [][]float64, base int) error {
 		return b.insertSlow(points, base)
 	}
 	d, H := t.D, t.H
-	if cap(b.q) < m*d {
-		b.q = make([]uint64, m*d)
+	b.leaf = growU64(&b.leaf, m)
+	idxBits := uint(bits.Len(uint(m - 1)))
+	switch {
+	case b.packed && d*(H-1)+int(idxBits) <= 64:
+		return b.insertCombo(points, base, idxBits)
+	case b.packed:
+		return b.insertPairs(points, base)
+	default:
+		return b.insertMultiWord(points, base)
 	}
-	b.q = b.q[:m*d]
-	if cap(b.key) < m*b.words {
-		b.key = make([]uint64, m*b.words)
+}
+
+// insertCombo is the default chunk layout: key and original index
+// share one word, so the radix sort delivers the (path, index) total
+// order as a plain integer order. Covers every chunk of the standard
+// build (45-bit key + 13-bit index at d=15, H=4, chunks of 8192).
+func (b *batchInserter) insertCombo(points [][]float64, base int, idxBits uint) error {
+	t := b.t
+	d, H := t.D, t.H
+	m := len(points)
+	combo := growU64(&b.combo, m)
+	tmp := growU64(&b.comboTmp, m)
+
+	// Pass 1: validate + quantize + key, fused per point.
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", base+i, len(p), d)
+		}
+		k, lf, ok := quantizePackedKey(p, d, H, b.qi)
+		if !ok {
+			return b.quantizeErr(p, base+i)
+		}
+		combo[i] = k<<idxBits | uint64(i)
+		b.leaf[i] = lf
 	}
-	b.key = b.key[:m*b.words]
+
+	// Pass 2: LSD radix sort of the combo words.
+	sorted := radixSortCombo(combo, tmp)
+	t.radixChunks++
+
+	// Pass 3: count runs. The descent stack carries over between runs:
+	// only levels at or below the divergence level (read off the XOR of
+	// consecutive keys) walk the tree.
+	t.invalidateIndexes()
+	idxMask := uint64(1)<<idxBits - 1
+	var prevK uint64
+	for i := 0; i < m; {
+		k0 := sorted[i] >> idxBits
+		j := i + 1
+		for j < m && sorted[j]>>idxBits == k0 {
+			j++
+		}
+		// The deepest stored level's half-space counters depend on each
+		// point's level-H parity: per point, but no tree traversal.
+		deep := b.countRunPacked(k0, prevK, i == 0, int32(j-i))
+		for q := i; q < j; q++ {
+			popcountLower(deep, b.leaf[sorted[q]&idxMask], t.dmask)
+		}
+		prevK = k0
+		i = j
+	}
+	t.Eta += m
+	return nil
+}
+
+// insertPairs handles packed keys whose combo word would overflow
+// (d·(H-1) + index bits > 64): the key column radix-sorts with the
+// original index as its payload; LSD stability keeps equal keys in
+// arrival order, preserving the index tie-break.
+func (b *batchInserter) insertPairs(points [][]float64, base int) error {
+	t := b.t
+	d, H := t.D, t.H
+	m := len(points)
+	key := growU64(&b.key, m)
+	keyTmp := growU64(&b.keyTmp, m)
+	pay := growU64(&b.pay, m)
+	payTmp := growU64(&b.payTmp, m)
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", base+i, len(p), d)
+		}
+		k, lf, ok := quantizePackedKey(p, d, H, b.qi)
+		if !ok {
+			return b.quantizeErr(p, base+i)
+		}
+		key[i] = k
+		pay[i] = uint64(i)
+		b.leaf[i] = lf
+	}
+	sk, sp := radixSortPairs(key, pay, keyTmp, payTmp)
+	t.radixChunks++
+	t.invalidateIndexes()
+	var prevK uint64
+	for i := 0; i < m; {
+		k0 := sk[i]
+		j := i + 1
+		for j < m && sk[j] == k0 {
+			j++
+		}
+		deep := b.countRunPacked(k0, prevK, i == 0, int32(j-i))
+		for q := i; q < j; q++ {
+			popcountLower(deep, b.leaf[sp[q]], t.dmask)
+		}
+		prevK = k0
+		i = j
+	}
+	t.Eta += m
+	return nil
+}
+
+// insertMultiWord is the d·(H-1) > 64 fallback: per-level loc words
+// compared lexicographically under slices.SortFunc, with the original
+// index as the explicit tie-break.
+func (b *batchInserter) insertMultiWord(points [][]float64, base int) error {
+	t := b.t
+	d, H, w := t.D, t.H, b.words
+	m := len(points)
+	key := growU64(&b.key, m*w)
 	if cap(b.ord) < m {
 		b.ord = make([]int32, m)
 	}
 	b.ord = b.ord[:m]
-
-	// Pass 1: validate + quantize every point at level H, derive the
-	// path sort key (level-major loc words).
 	for i, p := range points {
-		qi := b.q[i*d : (i+1)*d]
-		if err := quantizeLevelH(p, d, H, qi, base+i); err != nil {
-			return err
+		if len(p) != d {
+			return fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", base+i, len(p), d)
 		}
-		if b.packed {
-			b.key[i] = packedPathKey(qi, d, H)
-		} else {
-			pathKeyWords(qi, d, H, b.key[i*b.words:(i+1)*b.words])
+		lf, ok := quantizeKeyWords(p, d, H, key[i*w:(i+1)*w], b.qi)
+		if !ok {
+			return b.quantizeErr(p, base+i)
 		}
+		b.leaf[i] = lf
 		b.ord[i] = int32(i)
 	}
-
-	// Pass 2: sort by path (original index tie-break keeps the
-	// permutation a pure function of the chunk).
-	sort.Sort(b)
-
-	// Pass 3: count runs. The descent stack carries over between runs:
-	// only levels at or below the divergence level walk the tree.
+	slices.SortFunc(b.ord, func(a, c int32) int {
+		ka := key[int(a)*w : int(a)*w+w]
+		kc := key[int(c)*w : int(c)*w+w]
+		for k := 0; k < w; k++ {
+			if ka[k] != kc[k] {
+				if ka[k] < kc[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return int(a) - int(c)
+	})
 	t.invalidateIndexes()
 	b.have = 0
 	for i := 0; i < m; {
@@ -290,14 +525,10 @@ func (b *batchInserter) insert(points [][]float64, base int) error {
 		for j < m && b.keysEqual(b.ord[j], leader) {
 			j++
 		}
-		cnt := int32(j - i)
-		b.extractLocs(leader)
-		// The deepest stored level's half-space counters depend on each
-		// point's level-H parity: per point, but no tree traversal.
-		deep := b.countRunAt(cnt)
-		for k := i; k < j; k++ {
-			qk := b.q[int(b.ord[k])*d : (int(b.ord[k])+1)*d]
-			popcountLower(deep, leafParity(qk, d), t.dmask)
+		b.setCandFromKey(key[int(leader)*w : (int(leader)+1)*w])
+		deep := b.countRunAt(int32(j - i))
+		for q := i; q < j; q++ {
+			popcountLower(deep, b.leaf[b.ord[q]], t.dmask)
 		}
 		i = j
 	}

@@ -2,6 +2,7 @@ package ctree
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"mrcc/internal/synthetic"
@@ -10,8 +11,9 @@ import (
 // BenchmarkTreeBuild isolates phase one (the Counting-tree build) on
 // the bench dataset — 15 dims, 10 subspace clusters, 15% noise, seed
 // 314, the same generator settings BenchmarkBetaSearch uses — at
-// several sizes. It reports points/s alongside
-// allocs/op so the arena layout's two acceptance numbers — build
+// several sizes, serially and at Workers=GOMAXPROCS (the parallel
+// sort-and-merge build, which produces the identical tree). It reports
+// points/s alongside allocs/op so the build's two acceptance numbers —
 // throughput and build-phase allocations — are read off one run:
 //
 //	go test -bench BenchmarkTreeBuild -run '^$' ./internal/ctree
@@ -29,11 +31,17 @@ func BenchmarkTreeBuild(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(fmt.Sprintf("n=%d/d=%d", bc.points, bc.dims), func(b *testing.B) {
+		run := func(b *testing.B, workers int) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tr, err := Build(ds, 4)
+				var tr *Tree
+				var err error
+				if workers <= 1 {
+					tr, err = Build(ds, 4)
+				} else {
+					tr, err = BuildParallel(ds, 4, workers)
+				}
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -44,6 +52,12 @@ func BenchmarkTreeBuild(b *testing.B) {
 			b.StopTimer()
 			secsPerOp := b.Elapsed().Seconds() / float64(b.N)
 			b.ReportMetric(float64(ds.Len())/secsPerOp, "points/s")
+		}
+		b.Run(fmt.Sprintf("n=%d/d=%d", bc.points, bc.dims), func(b *testing.B) {
+			run(b, 1)
+		})
+		b.Run(fmt.Sprintf("n=%d/d=%d/workers=gomaxprocs", bc.points, bc.dims), func(b *testing.B) {
+			run(b, runtime.GOMAXPROCS(0))
 		})
 	}
 }

@@ -102,9 +102,10 @@ func (ix *LevelIndex) ComparePaths(a, b int) int {
 	return 0
 }
 
-// hashWords is FNV-1a over the path words, the key of the flat hash
-// (hashLoc in arena.go is the single-word specialization the child
-// tables use).
+// hashWords is FNV-1a over the path words, the key of the flat hash.
+// (The child tables hash single Loc words with the cheaper fmix64 —
+// hashLoc in arena.go; the level indexes keep FNV-1a because their key
+// is a variable-length word sequence.)
 func hashWords(words []uint64) uint64 {
 	h := uint64(14695981039346656037)
 	for _, w := range words {

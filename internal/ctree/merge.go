@@ -107,6 +107,7 @@ func (t *Tree) MergeFrom(other *Tree) error {
 	t.grows += other.grows
 	t.runs += other.runs
 	t.runPoints += other.runPoints
+	t.radixChunks += other.radixChunks
 	return nil
 }
 

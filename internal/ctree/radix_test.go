@@ -1,0 +1,340 @@
+package ctree
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+func TestRadixSortCombo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string][]uint64{
+		"empty":  {},
+		"single": {42},
+		"equal":  {9, 9, 9, 9, 9},
+		"sorted": {1, 2, 3, 4, 5, 6},
+		"rev":    {6, 5, 4, 3, 2, 1},
+	}
+	random := make([]uint64, 5000)
+	for i := range random {
+		// Mix of full-range and low-bit-only words so some byte lanes
+		// are constant (exercising the lane-skip) and some are not.
+		if i%3 == 0 {
+			random[i] = rng.Uint64()
+		} else {
+			random[i] = rng.Uint64() & 0x3ffffffffffff
+		}
+	}
+	cases["random"] = random
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			want := slices.Clone(in)
+			slices.Sort(want)
+			a := slices.Clone(in)
+			tmp := make([]uint64, len(a))
+			got := radixSortCombo(a, tmp)
+			if !slices.Equal(got, want) {
+				t.Fatalf("radixSortCombo diverged from slices.Sort\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+func TestRadixSortPairsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 5000
+	key := make([]uint64, n)
+	pay := make([]uint64, n)
+	for i := range key {
+		key[i] = uint64(rng.Intn(97)) << 17 // few distinct keys → long equal runs
+		pay[i] = uint64(i)
+	}
+	type rec struct{ k, p uint64 }
+	want := make([]rec, n)
+	for i := range want {
+		want[i] = rec{key[i], pay[i]}
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].k < want[b].k })
+	sk, sp := radixSortPairs(key, pay, make([]uint64, n), make([]uint64, n))
+	for i := 0; i < n; i++ {
+		if sk[i] != want[i].k || sp[i] != want[i].p {
+			t.Fatalf("pos %d: got (%d,%d), want (%d,%d) — pair sort unstable or wrong",
+				i, sk[i], sp[i], want[i].k, want[i].p)
+		}
+	}
+}
+
+// TestQuantizePackedKeyMatchesSlow pins the fused branch-reduced
+// quantizer bit-identical to the slow per-level kernel (quantizeLevelH
+// + packedPathKey + leafParity) over random points and the boundary
+// bit patterns the single-comparison validation must classify exactly:
+// ±0.0, the largest float below 1.0, denormals, and every invalid
+// shape (1.0, >1, negative, ±Inf, NaN).
+func TestQuantizePackedKeyMatchesSlow(t *testing.T) {
+	const d, H = 15, 4
+	rng := rand.New(rand.NewSource(3))
+	check := func(p []float64) {
+		t.Helper()
+		qi := make([]uint64, d)
+		err := quantizeLevelH(p, d, H, qi, 0)
+		k, lf, ok := quantizePackedKey(p, d, H, make([]uint64, d))
+		if ok != (err == nil) {
+			t.Fatalf("point %v: fast ok=%v, slow err=%v — validators disagree", p, ok, err)
+		}
+		if !ok {
+			return
+		}
+		if wantK := packedPathKey(qi, d, H); k != wantK {
+			t.Fatalf("point %v: fast key %#x, slow key %#x", p, k, wantK)
+		}
+		if wantL := leafParity(qi, d); lf != wantL {
+			t.Fatalf("point %v: fast leaf %#x, slow leaf %#x", p, lf, wantL)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		check(p)
+	}
+	edges := []float64{
+		0, math.Copysign(0, -1), 0.5, 0.25, 0.75, 0.9999999999999999,
+		math.Nextafter(1, 0), math.SmallestNonzeroFloat64, 1e-300,
+		0.125, 0.4999999999999999, 0.5000000000000001,
+	}
+	bads := []float64{
+		1, 1.0000000000000002, 2, -0.5, math.Nextafter(0, -1),
+		math.Inf(1), math.Inf(-1), math.NaN(), -1e-300, 1e300,
+	}
+	base := make([]float64, d)
+	for j := range base {
+		base[j] = 0.3
+	}
+	for _, v := range edges {
+		for pos := 0; pos < d; pos += 7 {
+			p := slices.Clone(base)
+			p[pos] = v
+			check(p)
+		}
+	}
+	for _, v := range bads {
+		for pos := 0; pos < d; pos += 7 {
+			p := slices.Clone(base)
+			p[pos] = v
+			check(p)
+		}
+	}
+}
+
+// TestQuantizeKeyWordsMatchesSlow is the multi-word-layout twin
+// (d·(H-1) > 64 forces the per-level word path).
+func TestQuantizeKeyWordsMatchesSlow(t *testing.T) {
+	const d, H = 20, 5 // 20·4 = 80 key bits
+	rng := rand.New(rand.NewSource(5))
+	qi := make([]uint64, d)
+	wantKW := make([]uint64, H-1)
+	kw := make([]uint64, H-1)
+	for trial := 0; trial < 1000; trial++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		if err := quantizeLevelH(p, d, H, qi, 0); err != nil {
+			t.Fatal(err)
+		}
+		pathKeyWords(qi, d, H, wantKW)
+		lf, ok := quantizeKeyWords(p, d, H, kw, make([]uint64, d))
+		if !ok {
+			t.Fatalf("valid point rejected: %v", p)
+		}
+		if !slices.Equal(kw, wantKW) {
+			t.Fatalf("key words diverged: got %v want %v", kw, wantKW)
+		}
+		if want := leafParity(qi, d); lf != want {
+			t.Fatalf("leaf parity diverged: got %#x want %#x", lf, want)
+		}
+	}
+	p := make([]float64, d)
+	p[d-1] = math.NaN()
+	if _, ok := quantizeKeyWords(p, d, H, kw, qi); ok {
+		t.Fatal("NaN accepted by multi-word quantizer")
+	}
+}
+
+// TestBatchLayoutsMatchPerPointInsert forces each of the three chunk
+// sort layouts — combo (key+index in one word), pair radix (packed key
+// whose combo word would overflow), multi-word comparison fallback —
+// and pins the resulting tree cell-identical to per-point insertion.
+func TestBatchLayoutsMatchPerPointInsert(t *testing.T) {
+	cases := []struct {
+		name   string
+		d, H   int
+		layout string
+	}{
+		// 5·3 = 15 key bits + 13 index bits: combo.
+		{"combo_d5_H4", 5, 4, "combo"},
+		// 19·3 = 57 key bits + 13 index bits = 70 > 64: pair radix.
+		{"pairs_d19_H4", 19, 4, "pairs"},
+		// 15·5 = 75 key bits > 64: multi-word fallback.
+		{"multiword_d15_H6", 15, 6, "multiword"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 9000 // > buildReportEvery so at least one full chunk sorts
+			ds := uniformDataset(t, tc.d, n, 42)
+			// Duplicate a block of points so equal keys actually occur
+			// and the tie-break/stability paths are exercised.
+			for i := 0; i < 500; i++ {
+				ds.Points[n-1-i] = ds.Points[i]
+			}
+			batched, err := Build(ds, tc.H)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perPoint := New(tc.d, tc.H)
+			for _, p := range ds.Points {
+				if err := perPoint.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !treesEqual(t, batched, perPoint) {
+				t.Fatal("batched build diverged from per-point insertion")
+			}
+			wantRadix := tc.layout != "multiword"
+			if got := batched.RadixChunks() > 0; got != wantRadix {
+				t.Fatalf("RadixChunks = %d, want >0 == %v for layout %s",
+					batched.RadixChunks(), wantRadix, tc.layout)
+			}
+			if perPoint.RadixChunks() != 0 {
+				t.Fatalf("per-point build counted %d radix chunks, want 0", perPoint.RadixChunks())
+			}
+		})
+	}
+}
+
+// TestBatchInsertErrorMessagesUnchanged pins the chunked fast path to
+// the historical per-point error text: the fused validator flags the
+// chunk, the slow validator re-derives the exact message.
+func TestBatchInsertErrorMessagesUnchanged(t *testing.T) {
+	d := 5
+	ds := uniformDataset(t, d, 50, 9)
+	ds.Points[17][3] = 1.25
+	_, err := Build(ds, 4)
+	if err == nil {
+		t.Fatal("invalid point accepted")
+	}
+	want := "ctree: point 17: ctree: axis 3 value 1.25 outside [0,1): dataset must be normalized"
+	if err.Error() != want {
+		t.Fatalf("error text changed:\n got %q\nwant %q", err, want)
+	}
+	ds.Points[17] = ds.Points[0]
+	ds.Points[33] = []float64{0.1, 0.2}
+	_, err = Build(ds, 4)
+	if err == nil {
+		t.Fatal("short point accepted")
+	}
+	want = "ctree: point 33: ctree: point has 2 values, want 5"
+	if err.Error() != want {
+		t.Fatalf("error text changed:\n got %q\nwant %q", err, want)
+	}
+}
+
+// TestHashLocDistributes sanity-checks the fmix64 probe hash: distinct
+// small Loc words (the common case — d <= 20 means loc < 2^20) must not
+// collapse onto few slots of a power-of-two table.
+func TestHashLocDistributes(t *testing.T) {
+	const tableBits = 10
+	mask := uint64(1<<tableBits - 1)
+	seen := make(map[uint64]int)
+	for loc := uint64(0); loc < 1<<tableBits; loc++ {
+		seen[hashLoc(loc)&mask]++
+	}
+	maxLoad := 0
+	for _, c := range seen {
+		if c > maxLoad {
+			maxLoad = c
+		}
+	}
+	if len(seen) < (1<<tableBits)/2 {
+		t.Fatalf("hashLoc maps 2^%d consecutive locs onto only %d of %d slots", tableBits, len(seen), 1<<tableBits)
+	}
+	if maxLoad > 8 {
+		t.Fatalf("hashLoc piles %d consecutive locs onto one slot", maxLoad)
+	}
+}
+
+// BenchmarkQuantize measures the fused branch-reduced quantize+pack
+// kernel against the slow per-level kernel it bypasses, over one
+// build-sized chunk (points/s is the chunk's points per wall second).
+func BenchmarkQuantize(b *testing.B) {
+	const d, H, m = 15, 4, 8192
+	pts := uniformDataset(b, d, m, 1).Points
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		qi := make([]uint64, d)
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			for _, p := range pts {
+				k, lf, ok := quantizePackedKey(p, d, H, qi)
+				if !ok {
+					b.Fatal("rejected valid point")
+				}
+				sink ^= k + lf
+			}
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		_ = sink
+	})
+	b.Run("slow", func(b *testing.B) {
+		b.ReportAllocs()
+		qi := make([]uint64, d)
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			for _, p := range pts {
+				if err := quantizeLevelH(p, d, H, qi, 0); err != nil {
+					b.Fatal(err)
+				}
+				sink ^= packedPathKey(qi, d, H) + leafParity(qi, d)
+			}
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		_ = sink
+	})
+}
+
+// BenchmarkMortonSort measures the LSD radix combo sort against the
+// generic comparison sort it replaced, on one build-sized chunk of
+// 58-bit combo words (45-bit key + 13-bit index, the d=15 H=4 shape).
+func BenchmarkMortonSort(b *testing.B) {
+	const m = 8192
+	rng := rand.New(rand.NewSource(2))
+	orig := make([]uint64, m)
+	for i := range orig {
+		orig[i] = (rng.Uint64() & (1<<45 - 1)) << 13
+	}
+	for i := range orig {
+		orig[i] |= uint64(i)
+	}
+	b.Run("radix", func(b *testing.B) {
+		b.ReportAllocs()
+		a := make([]uint64, m)
+		tmp := make([]uint64, m)
+		for i := 0; i < b.N; i++ {
+			copy(a, orig)
+			radixSortCombo(a, tmp)
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+	b.Run("stdsort", func(b *testing.B) {
+		b.ReportAllocs()
+		a := make([]uint64, m)
+		for i := 0; i < b.N; i++ {
+			copy(a, orig)
+			slices.Sort(a)
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+}

@@ -1,29 +1,44 @@
 // Robustness layer of the Counting-tree build: cooperative
 // cancellation, memory-bounded construction and worker panic
-// containment (DESIGN.md §8).
+// containment (DESIGN.md §8), plus the merged-stream parallel build.
 //
-// The chunked parallel build is the pipeline's largest memory consumer
-// — the tree plus the flat level indexes grow O(H·η·d) — so this is
-// where a production deployment needs load-shedding the most. Every
-// shard polls a shared buildControl at each report interval (a few
-// thousand points), so cancellation and the memory cap are observed
-// within one chunk of work; a panic inside a shard is recovered in the
-// goroutine itself, so sync.WaitGroup peers always drain and the
-// coordinator turns the poisoned chunk into an error instead of
-// crashing the host.
+// The parallel build is a sort/merge split, not a tree-per-shard
+// merge: each worker quantizes and radix-sorts its dataset shard into
+// a sorted (path key, leaf parity) record stream — touching no tree at
+// all — and the coordinator k-way merges the sorted streams into ONE
+// tree through the same carry-over run counting the serial build uses
+// (batch.go). Compared to the old shard-trees + MergeFrom design this
+// removes the per-shard arena allocations and the O(cells) merge walk,
+// and the expensive phase (quantize + sort, the build's measured
+// majority) is what parallelizes; the stream merge is a cheap loop-min
+// over <= workers cursors. The merged order is (key asc, stream index
+// asc, within-stream arrival), a pure function of the dataset and the
+// shard decomposition, so the result is deterministic for a fixed
+// (dataset, H, workers): the cell set and every count match the serial
+// build exactly, and because the arena's growth policy is a function
+// of the cell/point sequence cardinalities only — never of insertion
+// order — the memory accounting matches too (MemoryBytes equality is
+// pinned by tests).
 //
-// The memory-limit decision is deterministic for a fixed (dataset, H,
-// workers, limit): shards only early-abort on their own monotone
-// ApproxMemoryBytes estimate, each shard's content is a fixed slice of
-// the dataset, and a shard's cell set is a subset of the merged
-// tree's, so "some schedule aborts early" implies "every schedule
-// fails the final check" — the outcome never depends on goroutine
-// timing, only the error's reported estimate may differ.
+// Every worker polls a shared buildControl at each report interval (a
+// few thousand points), so cancellation is observed within one chunk
+// of work; a panic inside a worker is recovered in the goroutine
+// itself, so sync.WaitGroup peers always drain and the coordinator
+// turns the poisoned shard into an error instead of crashing the host.
+//
+// The memory cap is enforced where the memory lives: the merge loop
+// checks the destination tree's monotone ApproxMemoryBytes estimate
+// every chunk of merged records (workers hold only their transient
+// 16-bytes-per-point record columns, which are not part of the tree's
+// accounted footprint). The decision is deterministic for a fixed
+// (dataset, H, workers, limit) because the merged stream — and with it
+// the tree's growth sequence — is.
 package ctree
 
 import (
 	"context"
 	"fmt"
+	"slices"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -106,11 +121,10 @@ func (bc *buildControl) firstErr() error {
 	return bc.err
 }
 
-// check is the per-interval checkpoint a shard polls while counting
-// points into t (its private shard tree). It observes, in order: a
-// failure already recorded by a peer, an armed fault-injection point,
-// context cancellation, and the memory cap against the shard's own
-// monotone footprint estimate.
+// check is the per-interval checkpoint the serial build polls while
+// counting points into t. It observes, in order: a failure already
+// recorded, an armed fault-injection point, context cancellation, and
+// the memory cap against the tree's monotone footprint estimate.
 func (bc *buildControl) check(t *Tree) error {
 	if bc == nil {
 		return nil
@@ -134,11 +148,141 @@ func (bc *buildControl) check(t *Tree) error {
 	return nil
 }
 
+// checkWorker is the sort-phase checkpoint: a worker owns no tree, so
+// it observes everything check does except the memory cap (the merge
+// loop enforces that against the one real tree).
+func (bc *buildControl) checkWorker() error {
+	if bc == nil {
+		return nil
+	}
+	if bc.stopped.Load() {
+		return bc.firstErr()
+	}
+	if err := fault.Inject(fault.BuildChunk); err != nil {
+		return bc.fail(err)
+	}
+	if bc.ctx != nil {
+		if err := bc.ctx.Err(); err != nil {
+			return bc.fail(err)
+		}
+	}
+	return nil
+}
+
+// checkMerge is the merge-phase checkpoint, polled once per chunk of
+// merged records against the destination tree.
+func (bc *buildControl) checkMerge(t *Tree) error {
+	if bc == nil {
+		return nil
+	}
+	if err := fault.Inject(fault.BuildMerge); err != nil {
+		return bc.fail(err)
+	}
+	if bc.ctx != nil {
+		if err := bc.ctx.Err(); err != nil {
+			return bc.fail(err)
+		}
+	}
+	if bc.limit > 0 {
+		if est := t.ApproxMemoryBytes(); est > bc.limit {
+			return bc.fail(&LimitError{LimitBytes: bc.limit, EstimateBytes: est, H: t.H})
+		}
+	}
+	return nil
+}
+
+// recordStream is one worker's sorted shard: path keys (one word per
+// point when packed, words-per-key otherwise) with the matching level-H
+// parity words, in (key asc, arrival) order. pos is the merge cursor.
+type recordStream struct {
+	keys  []uint64
+	leaf  []uint64
+	words int
+	pos   int
+}
+
+// len returns the number of records in the stream.
+func (rs *recordStream) len() int { return len(rs.leaf) }
+
+// sortShard quantizes and sorts the dataset slice [lo, hi) into a
+// recordStream. Packed keys sort with the stable pair-radix kernel
+// (radix.go), so equal keys keep dataset order — the tie-break the
+// deterministic merge relies on; multi-word keys fall back to a
+// comparison sort over the permutation. radixed reports whether the
+// radix kernel ran (the coordinator folds it into the tree's counter).
+func sortShard(ds *dataset.Dataset, lo, hi, H int, bc *buildControl) (rs *recordStream, radixed bool, err error) {
+	d := ds.Dims
+	s := hi - lo
+	packed := d*(H-1) <= 64
+	w := 1
+	if !packed {
+		w = H - 1
+	}
+	keys := make([]uint64, s*w)
+	leaf := make([]uint64, s)
+	qi := make([]uint64, d)
+	for i := 0; i < s; i++ {
+		if i%buildReportEvery == 0 {
+			if err := bc.checkWorker(); err != nil {
+				return nil, false, err
+			}
+		}
+		p := ds.Points[lo+i]
+		if len(p) != d {
+			return nil, false, fmt.Errorf("ctree: point %d: ctree: point has %d values, want %d", lo+i, len(p), d)
+		}
+		var ok bool
+		if packed {
+			keys[i], leaf[i], ok = quantizePackedKey(p, d, H, qi)
+		} else {
+			leaf[i], ok = quantizeKeyWords(p, d, H, keys[i*w:(i+1)*w], qi)
+		}
+		if !ok {
+			// Re-run the slow validator for the exact historical error.
+			if err := quantizeLevelH(p, d, H, qi, lo+i); err != nil {
+				return nil, false, err
+			}
+			return nil, false, fmt.Errorf("ctree: point %d: invalid point", lo+i)
+		}
+	}
+	if packed {
+		sk, sp := radixSortPairs(keys, leaf, make([]uint64, s), make([]uint64, s))
+		return &recordStream{keys: sk, leaf: sp, words: 1}, true, nil
+	}
+	// Multi-word: sort a permutation, then materialize the columns in
+	// sorted order so the merge reads them like any other stream.
+	ord := make([]int32, s)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	slices.SortFunc(ord, func(a, c int32) int {
+		ka := keys[int(a)*w : int(a)*w+w]
+		kc := keys[int(c)*w : int(c)*w+w]
+		for k := 0; k < w; k++ {
+			if ka[k] != kc[k] {
+				if ka[k] < kc[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return int(a) - int(c)
+	})
+	sk := make([]uint64, s*w)
+	sp := make([]uint64, s)
+	for i, o := range ord {
+		copy(sk[i*w:(i+1)*w], keys[int(o)*w:(int(o)+1)*w])
+		sp[i] = leaf[o]
+	}
+	return &recordStream{keys: sk, leaf: sp, words: w}, false, nil
+}
+
 // BuildParallelOpts is the robust entry point of the Counting-tree
 // build: BuildParallelProgress plus cooperative cancellation, the
-// during-build memory cap and shard panic containment. With a zero
+// during-build memory cap and worker panic containment. With a zero
 // BuildOptions (beyond Workers/Progress) it behaves exactly like
-// BuildParallelProgress and produces the same tree.
+// BuildParallelProgress and produces the same tree — cell for cell and
+// byte for byte — as the serial Build.
 func BuildParallelOpts(ds *dataset.Dataset, H int, opt BuildOptions) (*Tree, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -157,7 +301,10 @@ func BuildParallelOpts(ds *dataset.Dataset, H int, opt BuildOptions) (*Tree, err
 			progress(int(done.Add(int64(delta))), total)
 		}
 	}
-	if workers == 1 || ds.Len() < 4*workers {
+	// Serial fallback: one worker, a dataset too small to shard, or one
+	// big enough to overflow the int32 counters (the per-point slow
+	// path reports the exact overflow error).
+	if workers == 1 || ds.Len() < 4*workers || ds.Len() > MaxPoints {
 		t, err := buildReporting(ds, H, report, bc)
 		if err != nil {
 			return nil, err
@@ -165,7 +312,8 @@ func BuildParallelOpts(ds *dataset.Dataset, H int, opt BuildOptions) (*Tree, err
 		return t, nil
 	}
 	shardSize := (ds.Len() + workers - 1) / workers
-	trees := make([]*Tree, workers)
+	streams := make([]*recordStream, workers)
+	radixed := make([]bool, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -180,7 +328,7 @@ func BuildParallelOpts(ds *dataset.Dataset, H int, opt BuildOptions) (*Tree, err
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			// Contain shard panics inside the goroutine: the WaitGroup
+			// Contain worker panics inside the goroutine: the WaitGroup
 			// always drains and the coordinator reports the panic as an
 			// error instead of the process dying.
 			defer func() {
@@ -188,14 +336,13 @@ func BuildParallelOpts(ds *dataset.Dataset, H int, opt BuildOptions) (*Tree, err
 					errs[w] = bc.fail(panics.New(r))
 				}
 			}()
-			shard := &dataset.Dataset{Dims: ds.Dims, Points: ds.Points[lo:hi]}
-			trees[w], errs[w] = buildReporting(shard, H, report, bc)
+			streams[w], radixed[w], errs[w] = sortShard(ds, lo, hi, H, bc)
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	// The shared control's first recorded failure wins; shard slots may
-	// additionally hold follow-on errors from peers observing the stop
-	// flag, which we must not report over the cause.
+	// The shared control's first recorded failure wins; worker slots
+	// may additionally hold follow-on errors from peers observing the
+	// stop flag, which we must not report over the cause.
 	if err := bc.firstErr(); err != nil {
 		return nil, err
 	}
@@ -204,31 +351,170 @@ func BuildParallelOpts(ds *dataset.Dataset, H int, opt BuildOptions) (*Tree, err
 			return nil, errs[w]
 		}
 	}
-	var root *Tree
-	for w := 0; w < workers; w++ {
-		if trees[w] == nil {
-			continue
+	live := streams[:0:0]
+	for _, rs := range streams {
+		if rs != nil && rs.len() > 0 {
+			live = append(live, rs)
 		}
-		if root == nil {
-			root = trees[w]
-			continue
+	}
+	t := New(ds.Dims, H)
+	for _, r := range radixed {
+		if r {
+			t.radixChunks++
 		}
-		if err := fault.Inject(fault.BuildMerge); err != nil {
-			return nil, err
+	}
+	var err error
+	if ds.Dims*(H-1) <= 64 {
+		err = mergeStreamsPacked(t, live, bc, report, total)
+	} else {
+		err = mergeStreamsMulti(t, live, bc, report, total)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// mergeStreamsPacked k-way merges single-word-key streams into t. The
+// merged order is (key, stream index, within-stream arrival) — stream
+// count is bounded by Workers, so a loop-min over the cursors beats a
+// heap. Runs of equal keys are buffered and counted through the same
+// packed carry-over descent the serial chunk loop uses.
+func mergeStreamsPacked(t *Tree, streams []*recordStream, bc *buildControl, report func(int), total int) error {
+	ins := newBatchInserter(t)
+	leafBuf := make([]uint64, 0, buildReportEvery)
+	var curKey, prevKey uint64
+	first := true
+	inGroup := false
+	flush := func() {
+		if len(leafBuf) == 0 {
+			return
 		}
-		if bc.ctx != nil {
-			if err := bc.ctx.Err(); err != nil {
-				return nil, err
+		deep := ins.countRunPacked(curKey, prevKey, first, int32(len(leafBuf)))
+		for _, lf := range leafBuf {
+			popcountLower(deep, lf, t.dmask)
+		}
+		prevKey = curKey
+		first = false
+		leafBuf = leafBuf[:0]
+	}
+	processed, reported := 0, 0
+	for {
+		best := -1
+		var bestKey uint64
+		for si, rs := range streams {
+			if rs.pos >= rs.len() {
+				continue
+			}
+			if k := rs.keys[rs.pos]; best < 0 || k < bestKey {
+				best, bestKey = si, k
 			}
 		}
-		if err := root.MergeFrom(trees[w]); err != nil {
-			return nil, err
+		if best < 0 {
+			break
 		}
-		if bc.limit > 0 {
-			if est := root.ApproxMemoryBytes(); est > bc.limit {
-				return nil, &LimitError{LimitBytes: bc.limit, EstimateBytes: est, H: root.H}
+		rs := streams[best]
+		if !inGroup || bestKey != curKey {
+			flush()
+			curKey = bestKey
+			inGroup = true
+		}
+		leafBuf = append(leafBuf, rs.leaf[rs.pos])
+		rs.pos++
+		if len(leafBuf) == cap(leafBuf) {
+			flush()
+		}
+		processed++
+		if processed%buildReportEvery == 0 {
+			if err := bc.checkMerge(t); err != nil {
+				return err
+			}
+			if report != nil {
+				report(processed - reported)
+				reported = processed
 			}
 		}
 	}
-	return root, nil
+	flush()
+	t.Eta = processed
+	if report != nil && processed > reported {
+		report(processed - reported)
+	}
+	return nil
+}
+
+// mergeStreamsMulti is mergeStreamsPacked for multi-word keys:
+// lexicographic word comparison, runs counted through the generic
+// cand-array descent.
+func mergeStreamsMulti(t *Tree, streams []*recordStream, bc *buildControl, report func(int), total int) error {
+	ins := newBatchInserter(t)
+	w := t.H - 1
+	keyAt := func(rs *recordStream) []uint64 {
+		return rs.keys[rs.pos*w : (rs.pos+1)*w]
+	}
+	less := func(a, b []uint64) bool {
+		for k := 0; k < w; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	}
+	leafBuf := make([]uint64, 0, buildReportEvery)
+	curKey := make([]uint64, w)
+	inGroup := false
+	flush := func() {
+		if len(leafBuf) == 0 {
+			return
+		}
+		ins.setCandFromKey(curKey)
+		deep := ins.countRunAt(int32(len(leafBuf)))
+		for _, lf := range leafBuf {
+			popcountLower(deep, lf, t.dmask)
+		}
+		leafBuf = leafBuf[:0]
+	}
+	processed, reported := 0, 0
+	for {
+		best := -1
+		for si, rs := range streams {
+			if rs.pos >= rs.len() {
+				continue
+			}
+			if best < 0 || less(keyAt(rs), keyAt(streams[best])) {
+				best = si
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rs := streams[best]
+		k := keyAt(rs)
+		if !inGroup || !wordsEqual(curKey, k) {
+			flush()
+			copy(curKey, k)
+			inGroup = true
+		}
+		leafBuf = append(leafBuf, rs.leaf[rs.pos])
+		rs.pos++
+		if len(leafBuf) == cap(leafBuf) {
+			flush()
+		}
+		processed++
+		if processed%buildReportEvery == 0 {
+			if err := bc.checkMerge(t); err != nil {
+				return err
+			}
+			if report != nil {
+				report(processed - reported)
+				reported = processed
+			}
+		}
+	}
+	flush()
+	t.Eta = processed
+	if report != nil && processed > reported {
+		report(processed - reported)
+	}
+	return nil
 }

@@ -68,7 +68,8 @@ func (t *Tree) Clone() *Tree {
 	c := &Tree{
 		D: t.D, H: t.H, Eta: t.Eta, dmask: t.dmask,
 		grows: t.grows, runs: t.runs, runPoints: t.runPoints,
-		spillRuns: t.spillRuns, spillBytes: t.spillBytes,
+		radixChunks: t.radixChunks,
+		spillRuns:   t.spillRuns, spillBytes: t.spillBytes,
 		tabBytes: t.tabBytes,
 	}
 	c.loc = make([]uint64, len(t.loc), cap(t.loc))

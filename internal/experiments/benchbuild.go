@@ -54,6 +54,10 @@ type BenchBuildRecord struct {
 	// distinct leaf-path runs and the points they carried.
 	BatchRuns      int64 `json:"batchRuns"`
 	BatchRunPoints int64 `json:"batchRunPoints"`
+	// RadixChunks counts the point chunks ordered by the LSD radix
+	// kernel (zero when the path key overflows into the multi-word
+	// comparison-sort fallback).
+	RadixChunks int64 `json:"radixChunks,omitempty"`
 	// Speedup is the workers=1 row's BuildSeconds over this row's (0 on
 	// the workers=1 row itself).
 	Speedup float64 `json:"speedup,omitempty"`
@@ -121,6 +125,7 @@ func BenchBuild(opt Options, workerCounts []int) ([]BenchBuildRecord, error) {
 			ArenaGrows:     tree.ArenaGrows(),
 			BatchRuns:      runs,
 			BatchRunPoints: runPoints,
+			RadixChunks:    tree.RadixChunks(),
 		}
 		if w <= 1 && baseline == 0 {
 			baseline = best

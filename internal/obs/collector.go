@@ -25,6 +25,8 @@ type Collector struct {
 	indexLookups atomic.Int64
 	skips        atomic.Int64
 	scanDepth    atomic.Int64
+	cacheRepair  atomic.Int64
+	cacheRebuild atomic.Int64
 }
 
 // New returns a collector with an optional progress callback (nil for
@@ -177,10 +179,11 @@ func (c *Collector) SetTreeBytes(b uint64) {
 
 // SetArenaStats records the arena storage footprint and the batch-
 // insertion shape of the finished tree build: arenaBytes is the exact
-// slab/table footprint, grows the number of slab reallocations, and
+// slab/table footprint, grows the number of slab reallocations,
 // runs/runPoints the sorted-batch run count and the points those runs
-// carried (see Counters.BatchRuns).
-func (c *Collector) SetArenaStats(arenaBytes uint64, grows, runs, runPoints int64) {
+// carried (see Counters.BatchRuns), and radixChunks the chunks ordered
+// by the LSD radix kernel.
+func (c *Collector) SetArenaStats(arenaBytes uint64, grows, runs, runPoints, radixChunks int64) {
 	if c == nil {
 		return
 	}
@@ -189,6 +192,7 @@ func (c *Collector) SetArenaStats(arenaBytes uint64, grows, runs, runPoints int6
 	c.stats.Counters.ArenaGrows = grows
 	c.stats.Counters.BatchRuns = runs
 	c.stats.Counters.BatchRunPoints = runPoints
+	c.stats.Counters.RadixSortChunks = radixChunks
 	c.mu.Unlock()
 }
 
@@ -312,6 +316,25 @@ func (c *Collector) AddScanProbe(skips, depth int64) {
 	c.scanDepth.Add(depth)
 }
 
+// AddCacheRepair counts n scan-cache entries permanently retired by
+// the incremental eligibility repair cursor (one call per cursor
+// advance; see Counters.CacheRepairCells).
+func (c *Collector) AddCacheRepair(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.cacheRepair.Add(n)
+}
+
+// AddCacheFullRebuild counts one cached scan that re-derived the whole
+// order's eligibility from the top (the NoCacheRepair baseline).
+func (c *Collector) AddCacheFullRebuild() {
+	if c == nil {
+		return
+	}
+	c.cacheRebuild.Add(1)
+}
+
 // AddIndexLookups merges one worker chunk's count of level-index
 // neighbor/cell resolutions (single atomic add per chunk).
 func (c *Collector) AddIndexLookups(n int64) {
@@ -353,6 +376,8 @@ func (c *Collector) Finish() *Stats {
 	c.stats.Counters.IndexLookups = c.indexLookups.Load()
 	c.stats.Counters.EligibilitySkips = c.skips.Load()
 	c.stats.Counters.ScanDepth = c.scanDepth.Load()
+	c.stats.Counters.CacheRepairCells = c.cacheRepair.Load()
+	c.stats.Counters.CacheFullRebuilds = c.cacheRebuild.Load()
 	total := c.labeled.Load()
 	noise := c.noise.Load()
 	c.stats.Counters.NoisePoints = noise

@@ -137,6 +137,14 @@ type Counters struct {
 	// so ScanDepth/ (scan invocations) is the mean early-exit depth.
 	EligibilitySkips int64 `json:"eligibilitySkips"`
 	ScanDepth        int64 `json:"scanDepth"`
+	// CacheRepairCells counts scan-cache entries permanently retired by
+	// the incremental eligibility repair (the cursor advances of
+	// scancache.go); each retired cell is re-examined on no later pass.
+	// CacheFullRebuilds counts scans that re-derived eligibility from the
+	// top of the cached order instead — always zero unless the
+	// Config.NoCacheRepair baseline is set.
+	CacheRepairCells  int64 `json:"cacheRepairCells,omitempty"`
+	CacheFullRebuilds int64 `json:"cacheFullRebuilds,omitempty"`
 	// IndexLookups counts neighbor/cell resolutions served by the flat
 	// level indexes (coordinate-hash probes) in the scan hot path.
 	IndexLookups int64 `json:"indexLookups"`
@@ -153,6 +161,11 @@ type Counters struct {
 	// batching win over per-point descents.
 	BatchRuns      int64 `json:"batchRuns,omitempty"`
 	BatchRunPoints int64 `json:"batchRunPoints,omitempty"`
+	// RadixSortChunks counts the point chunks the build ordered with the
+	// LSD radix kernel (ctree/radix.go) — serial chunk sorts plus one per
+	// parallel sort shard. Zero when every chunk took the multi-word
+	// comparison-sort fallback (d·(H-1) > 64).
+	RadixSortChunks int64 `json:"radixSortChunks,omitempty"`
 	// SpillRuns / SpillBytes describe an out-of-core tree build
 	// (ctree.BuildExternal): sorted runs spilled to disk and the bytes
 	// they carried. Zero for in-memory builds.
@@ -310,8 +323,8 @@ func (s *Stats) Format() string {
 		if c.BatchRuns > 0 {
 			meanRun = float64(c.BatchRunPoints) / float64(c.BatchRuns)
 		}
-		fmt.Fprintf(&b, "arena: %d KB in %d grows; batch insert: %d runs, %d points (mean run %.1f)\n",
-			s.ArenaBytes/1024, c.ArenaGrows, c.BatchRuns, c.BatchRunPoints, meanRun)
+		fmt.Fprintf(&b, "arena: %d KB in %d grows; batch insert: %d runs, %d points (mean run %.1f), %d radix chunks\n",
+			s.ArenaBytes/1024, c.ArenaGrows, c.BatchRuns, c.BatchRunPoints, meanRun, c.RadixSortChunks)
 	}
 	if c.SpillRuns > 0 {
 		fmt.Fprintf(&b, "external build: %d spill runs, %d KB written\n",
@@ -326,6 +339,8 @@ func (s *Stats) Format() string {
 	if c.ValueCacheBuilds > 0 {
 		fmt.Fprintf(&b, "scan cache: %d level builds (%d values, %d index lookups); %d eligibility skips, scan depth %d\n",
 			c.ValueCacheBuilds, c.ValueCacheEntries, c.IndexLookups, c.EligibilitySkips, c.ScanDepth)
+		fmt.Fprintf(&b, "scan cache repair: %d cells retired, %d full rebuilds\n",
+			c.CacheRepairCells, c.CacheFullRebuilds)
 	}
 	fmt.Fprintf(&b, "critical-value cache: %d hits, %d misses\n",
 		c.CritCacheHits, c.CritCacheMisses)
