@@ -11,6 +11,7 @@
 //	experiments -benchscan results/bench_scan.json [-scale 0.05] [-workers 1,2,8] [-minscanpps 50000]
 //	experiments -benchbuild results/bench_build.json [-scale 0.05] [-workers 1,2,8] [-minbuildpps 200000]
 //	experiments -benchsnapshot results/bench_snapshot.json [-scale 0.05]
+//	experiments -benchwal results/bench_wal.json [-scale 0.05] [-minwalpps 100000]
 //
 // -workers accepts either one count (0 = all CPUs) or a comma list;
 // the bench runners sweep every listed count, so CI can probe serial
@@ -41,6 +42,12 @@
 // at a sort budget of one tenth of the record stream, verified
 // cell-for-cell against the in-memory build. CI runs it at a small
 // scale; EXPERIMENTS.md records the full-scale figures.
+//
+// -benchwal measures the durability layer: write-ahead-log append
+// throughput under each fsync policy (always, interval, none) over
+// service-sized batch payloads, plus a cold open-and-replay of each
+// log — the read side of crash recovery. CI runs it at a small scale;
+// EXPERIMENTS.md records the full-scale figures.
 package main
 
 import (
@@ -70,9 +77,11 @@ func main() {
 		scan    = flag.String("benchscan", "", "write β-search scan bench records (JSON) to this path (\"-\" = stdout) and exit")
 		build   = flag.String("benchbuild", "", "write tree-build bench records (JSON) to this path (\"-\" = stdout) and exit")
 		snap    = flag.String("benchsnapshot", "", "write snapshot/external-build bench record (JSON) to this path (\"-\" = stdout) and exit")
+		walOut  = flag.String("benchwal", "", "write write-ahead-log bench records (JSON) to this path (\"-\" = stdout) and exit")
 
 		minBuildPPS = flag.Float64("minbuildpps", 0, "with -benchbuild: fail (exit 1) unless the best row reaches this many points/s — the CI regression floor")
 		minScanPPS  = flag.Float64("minscanpps", 0, "with -benchscan: fail (exit 1) unless the best cached row's β-search reaches this many points/s — the CI regression floor")
+		minWALPPS   = flag.Float64("minwalpps", 0, "with -benchwal: fail (exit 1) unless the best row's append throughput reaches this many points/s — the CI regression floor")
 	)
 	flag.Parse()
 	workerList, err := parseWorkers(*workers)
@@ -118,8 +127,15 @@ func main() {
 		}
 		return
 	}
+	if *walOut != "" {
+		if err := runBenchWAL(*walOut, opt, *minWALPPS); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan, -benchbuild, -benchsnapshot)")
+		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan, -benchbuild, -benchsnapshot, -benchwal)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -370,4 +386,54 @@ func runBenchSnapshot(path string, opt experiments.Options) error {
 		rec.ExternalBuildSeconds, rec.SortBudgetBytes/1024, rec.SpillRuns, rec.SpillBytes/1024, rec.InMemoryBuildSeconds)
 	fmt.Printf("wrote the bench-snapshot record to %s\n", path)
 	return nil
+}
+
+// runBenchWAL runs the write-ahead-log bench (append throughput per
+// fsync policy plus a cold replay of each log), writes the JSON
+// records to path or stdout, and enforces the optional points/s
+// regression floor on the best append row.
+func runBenchWAL(path string, opt experiments.Options, minPPS float64) error {
+	records, err := experiments.BenchWAL(opt)
+	if err != nil {
+		return err
+	}
+	checkFloor := func() error {
+		if minPPS <= 0 {
+			return nil
+		}
+		var best float64
+		for _, r := range records {
+			if r.AppendPointsPerSec > best {
+				best = r.AppendPointsPerSec
+			}
+		}
+		if best < minPPS {
+			return fmt.Errorf("benchwal: best append throughput %.0f points/s is below the regression floor %.0f", best, minPPS)
+		}
+		fmt.Fprintf(os.Stderr, "benchwal: floor ok (%.0f >= %.0f points/s)\n", best, minPPS)
+		return nil
+	}
+	if path == "-" {
+		if err := experiments.WriteBenchWAL(os.Stdout, records); err != nil {
+			return err
+		}
+		return checkFloor()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchWAL(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range records {
+		fmt.Printf("benchwal: fsync=%s append=%.3fs (%.0f points/s, %.1f MB/s) replay=%.3fs (%.0f points/s) segments=%d\n",
+			r.Policy, r.AppendSeconds, r.AppendPointsPerSec, r.AppendBytesPerSec/1e6, r.ReplaySeconds, r.ReplayPointsPerSec, r.Segments)
+	}
+	fmt.Printf("wrote %d bench-wal records to %s\n", len(records), path)
+	return checkFloor()
 }

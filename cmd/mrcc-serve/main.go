@@ -15,12 +15,17 @@
 //
 //	POST /ingest         JSON [[...],...], {"points": ...}, or text/csv
 //	GET  /query?p=v,...  classify a point against the current model
-//	GET  /stats          window, view and counter snapshot
+//	GET  /stats          window, view, WAL and counter snapshot
+//	GET  /readyz         readiness + staleness for orchestrators
 //	POST /recluster      request an immediate re-cluster pass
 //	POST /snapshot/save  persist the tree (see -snapshot)
 //
 // SIGINT/SIGTERM shut the service down gracefully; with -snapshot set,
-// the tree is persisted on exit and reloaded on the next boot.
+// the tree is persisted on exit and reloaded on the next boot. Adding
+// -wal-dir makes ingestion crash-safe: every acknowledged batch is in
+// the write-ahead log before the 200 goes out, and a killed process
+// recovers it on the next boot by replaying the log tail past the last
+// checkpoint (-checkpoint-every bounds how long that replay takes).
 package main
 
 import (
@@ -51,6 +56,11 @@ func main() {
 		everyPts = flag.Int("recluster-points", 0, "re-cluster after this many new points (0 disables)")
 		window   = flag.Int("window-points", 0, "rotate the active tree after this many points; published models cover the last 1-2 windows (0 = keep everything)")
 		snapshot = flag.String("snapshot", "", "tree snapshot path: warm-start source on boot, target for POST /snapshot/save and shutdown")
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory: batches are logged before folding and replayed on boot (empty = no WAL)")
+		fsync    = flag.String("fsync", "interval", `WAL fsync policy: "always", "interval", or "none"`)
+		fsyncInt = flag.Duration("fsync-interval", 100*time.Millisecond, `data-loss bound under -fsync interval`)
+		ckptEv   = flag.Duration("checkpoint-every", 0, "checkpoint cadence: save the snapshot and truncate the covered WAL (0 = only on /snapshot/save and shutdown; requires -wal-dir and -snapshot)")
+		inflight = flag.Int("max-inflight", 0, "concurrently processed ingest requests before shedding with 429 (0 = default 64, negative = unbounded)")
 		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain budget")
 		maxBetas = flag.Int("max-beta-clusters", 0, "cap on β-clusters per pass (0 = unlimited)")
 		quiet    = flag.Bool("quiet", false, "suppress service logs")
@@ -77,6 +87,11 @@ func main() {
 		ReclusterPoints: *everyPts,
 		WindowPoints:    *window,
 		SnapshotPath:    *snapshot,
+		WALDir:          *walDir,
+		WALSync:         *fsync,
+		WALSyncEvery:    *fsyncInt,
+		CheckpointEvery: *ckptEv,
+		MaxInFlight:     *inflight,
 		Logf:            logf,
 	})
 	if err != nil {

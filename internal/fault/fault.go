@@ -44,6 +44,20 @@ const (
 	LabelChunk = "core.label.chunk"
 	// Normalize fires in the facade before the normalization pass.
 	Normalize = "facade.normalize"
+	// WALAppend fires in the middle of a write-ahead-log record write,
+	// after the record header went out but before the payload — firing
+	// it models a crash that tears a record in half.
+	WALAppend = "wal.append"
+	// WALSync fires before the fsync the log's sync policy demands —
+	// firing it models a crash after the write but before durability.
+	WALSync = "wal.fsync"
+	// WALRotate fires at the top of a segment rotation, before the old
+	// segment is sealed.
+	WALRotate = "wal.rotate"
+	// Checkpoint fires in the streaming service between saving a
+	// checkpoint snapshot and truncating the WAL segments it covers —
+	// firing it models the crash window that must be double-apply-safe.
+	Checkpoint = "serve.checkpoint"
 )
 
 // Error wraps an injected fault so the pipeline (and tests) can

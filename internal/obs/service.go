@@ -25,6 +25,11 @@ type ServiceCounters struct {
 	rotations       atomic.Int64
 	snapshotSaves   atomic.Int64
 	snapshotBytes   atomic.Int64
+	walAppends      atomic.Int64
+	walBytes        atomic.Int64
+	walReplayed     atomic.Int64
+	shedded         atomic.Int64
+	checkpoints     atomic.Int64
 }
 
 // AddIngest records one accepted batch of n points.
@@ -70,6 +75,24 @@ func (c *ServiceCounters) AddSnapshotSave(bytes int64) {
 	c.snapshotBytes.Add(bytes)
 }
 
+// AddWALAppend records one batch appended to the write-ahead log.
+func (c *ServiceCounters) AddWALAppend(bytes int64) {
+	c.walAppends.Add(1)
+	c.walBytes.Add(bytes)
+}
+
+// AddWALReplayed records n batches replayed from the write-ahead log
+// during warm-start recovery.
+func (c *ServiceCounters) AddWALReplayed(n int) { c.walReplayed.Add(int64(n)) }
+
+// AddShedded records one ingest request refused by admission control
+// (the in-flight bound was saturated; the client got 429).
+func (c *ServiceCounters) AddShedded() { c.shedded.Add(1) }
+
+// AddCheckpoint records one completed checkpoint (snapshot saved and
+// the covered WAL prefix truncated).
+func (c *ServiceCounters) AddCheckpoint() { c.checkpoints.Add(1) }
+
 // ServiceSnapshot is a point-in-time copy of the counters, shaped for
 // JSON (the service's GET /stats embeds one).
 type ServiceSnapshot struct {
@@ -84,6 +107,11 @@ type ServiceSnapshot struct {
 	Rotations       int64 `json:"rotations"`
 	SnapshotSaves   int64 `json:"snapshotSaves"`
 	SnapshotBytes   int64 `json:"snapshotBytes"`
+	WALAppends      int64 `json:"walAppends"`
+	WALBytes        int64 `json:"walBytes"`
+	WALReplayed     int64 `json:"walReplayed"`
+	SheddedRequests int64 `json:"sheddedRequests"`
+	Checkpoints     int64 `json:"checkpoints"`
 }
 
 // Snapshot returns a point-in-time copy of the counters.
@@ -100,5 +128,10 @@ func (c *ServiceCounters) Snapshot() ServiceSnapshot {
 		Rotations:       c.rotations.Load(),
 		SnapshotSaves:   c.snapshotSaves.Load(),
 		SnapshotBytes:   c.snapshotBytes.Load(),
+		WALAppends:      c.walAppends.Load(),
+		WALBytes:        c.walBytes.Load(),
+		WALReplayed:     c.walReplayed.Load(),
+		SheddedRequests: c.shedded.Load(),
+		Checkpoints:     c.checkpoints.Load(),
 	}
 }

@@ -25,10 +25,11 @@ import (
 //	POST /ingest         point batch (JSON array, {"points": ...}, or text/csv)
 //	GET  /query?p=v,...  classify one point against the published view
 //	POST /query          same, point in the JSON body
-//	GET  /stats          window, view and counter snapshot
+//	GET  /stats          window, view, WAL, checkpoint and counter snapshot
 //	POST /recluster      request an immediate re-cluster pass (202)
-//	POST /snapshot/save  persist the merged window trees to the snapshot path
+//	POST /snapshot/save  persist the merged window trees (a checkpoint when the WAL is on)
 //	GET  /healthz        liveness (200 once the process serves)
+//	GET  /readyz         readiness (200 once recovery finished and a view serves)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -41,6 +42,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -106,16 +108,41 @@ func parseBatch(r *http.Request, maxBody int64) ([][]float64, error) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Admission control: a bounded number of ingest requests may be in
+	// flight; the rest are shed immediately with 429 + Retry-After
+	// rather than queueing without bound behind the ingest lock.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.counters.AddShedded()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "ingest: %d requests already in flight; retry shortly", cap(s.inflight))
+			return
+		}
+	}
 	pts, err := parseBatch(r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		s.counters.AddIngestRejected()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "ingest: body exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
 	}
 	total, err := s.ingest(pts)
 	if err != nil {
 		s.counters.AddIngestRejected()
-		writeError(w, http.StatusUnprocessableEntity, "ingest: %v", err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, errDurability) {
+			// The batch was valid but could not be persisted; the WAL may
+			// hold torn bytes, so the service fails ingests until restart.
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "ingest: %v", err)
 		return
 	}
 	var seq uint64
@@ -150,6 +177,7 @@ func (s *Server) answerQuery(w http.ResponseWriter, p []float64) {
 	v := s.cur.Load()
 	if v == nil {
 		s.counters.AddQueryRejected()
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
 		writeError(w, http.StatusServiceUnavailable, "query: no published clustering view yet (ingest data and wait one re-cluster pass)")
 		return
 	}
@@ -212,6 +240,52 @@ func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
 	s.answerQuery(w, p)
 }
 
+// retryAfterSeconds is the Retry-After hint for clients that arrived
+// before the first view: one re-cluster cadence (rounded up), or 1s
+// when only the point-count trigger is configured.
+func (s *Server) retryAfterSeconds() int64 {
+	if s.cfg.ReclusterEvery > 0 {
+		if secs := int64((s.cfg.ReclusterEvery + time.Second - 1) / time.Second); secs > 1 {
+			return secs
+		}
+	}
+	return 1
+}
+
+// handleReadyz reports readiness for load-balancer rotation: 200 once
+// warm-start recovery (snapshot load + WAL replay, both of which
+// complete inside New before the handler can exist) has finished AND
+// either a view is published or nothing has been ingested yet. An
+// instance with data but no view is still recovering its query surface
+// and answers 503. Re-cluster failures do not flip readiness — the
+// last good view keeps serving — but they are surfaced as staleness.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	v := s.cur.Load()
+	s.mu.Lock()
+	total := s.totalPoints
+	s.mu.Unlock()
+	fails := s.reclusterFails.Load()
+	resp := map[string]any{
+		"viewPublished":                v != nil,
+		"consecutiveReclusterFailures": fails,
+		"stale":                        fails > 0,
+	}
+	if v != nil {
+		resp["viewAgeMs"] = time.Since(v.builtAt).Milliseconds()
+	}
+	if lastErr := s.lastReclusterErr.Load(); lastErr != nil && fails > 0 {
+		resp["lastReclusterError"] = *lastErr
+	}
+	if ready := v != nil || total == 0; !ready {
+		resp["ready"] = false
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	resp["ready"] = true
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // statsResponse is the GET /stats document.
 type statsResponse struct {
 	UptimeMs int64 `json:"uptimeMs"`
@@ -223,8 +297,27 @@ type statsResponse struct {
 		WindowPoints int `json:"windowPoints"`
 	} `json:"window"`
 	TreeBytes uint64              `json:"treeBytes"`
-	View      *viewInfo           `json:"view"` // null before the first pass
+	View      *viewInfo           `json:"view"`          // null before the first pass
+	WAL       *walInfo            `json:"wal,omitempty"` // null unless WALDir is configured
+	Recluster reclusterInfo       `json:"recluster"`
 	Counters  obs.ServiceSnapshot `json:"counters"`
+}
+
+// walInfo is the durability block of GET /stats: log position,
+// segment footprint and checkpoint freshness.
+type walInfo struct {
+	LastSeq         uint64 `json:"lastSeq"`    // newest appended record
+	AppliedSeq      uint64 `json:"appliedSeq"` // newest record folded into the tree
+	Segments        int    `json:"segments"`
+	CheckpointSeq   uint64 `json:"checkpointSeq"`   // WAL coverage of the last checkpoint
+	CheckpointAgeMs int64  `json:"checkpointAgeMs"` // -1 = never checkpointed
+}
+
+// reclusterInfo surfaces re-cluster health: a non-zero failure count
+// means the published view is going stale while the loop backs off.
+type reclusterInfo struct {
+	ConsecutiveFailures int64  `json:"consecutiveFailures"`
+	LastError           string `json:"lastError,omitempty"`
 }
 
 type viewInfo struct {
@@ -248,8 +341,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Window.AgingPoints = s.aging.Eta
 		resp.TreeBytes += s.aging.MemoryBytes()
 	}
+	appliedSeq := s.appliedSeq
 	s.mu.Unlock()
 	resp.Window.WindowPoints = s.cfg.WindowPoints
+	if s.wal != nil {
+		_, _, segments := s.wal.Stats()
+		wi := &walInfo{
+			LastSeq:         s.wal.LastSeq(),
+			AppliedSeq:      appliedSeq,
+			Segments:        segments,
+			CheckpointSeq:   s.ckptSeq.Load(),
+			CheckpointAgeMs: -1,
+		}
+		if nano := s.ckptNano.Load(); nano > 0 {
+			wi.CheckpointAgeMs = time.Since(time.Unix(0, nano)).Milliseconds()
+		}
+		resp.WAL = wi
+	}
+	resp.Recluster.ConsecutiveFailures = s.reclusterFails.Load()
+	if lastErr := s.lastReclusterErr.Load(); lastErr != nil && resp.Recluster.ConsecutiveFailures > 0 {
+		resp.Recluster.LastError = *lastErr
+	}
 	if v := s.cur.Load(); v != nil {
 		resp.View = &viewInfo{
 			Seq:       v.seq,

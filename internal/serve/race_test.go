@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -117,6 +119,165 @@ func TestConcurrentQueriesDuringIngest(t *testing.T) {
 	if v := s.cur.Load(); v == nil || v.seq < 6 {
 		t.Fatalf("view swaps did not happen during the storm (seq=%v)", v)
 	}
+}
+
+// TestIngestSheddingUnderSaturation saturates the in-flight bound with
+// requests whose bodies never finish arriving, then fires a burst of
+// well-formed ingests at the full semaphore. Under -race this pins the
+// admission-control contract: every burst request is shed with 429 (no
+// unbounded queueing), the shed counter is exact, concurrent 429s
+// never corrupt the tree or the counters, and the stalled requests
+// complete normally once their bodies arrive.
+func TestIngestSheddingUnderSaturation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxInFlight = 2
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	// Occupy every in-flight slot with a request stalled inside its
+	// body read — the semaphore is held from before parsing to after
+	// the fold, so a dribbling client pins a slot the whole time.
+	blockers := cfg.MaxInFlight
+	type pending struct {
+		pw   *io.PipeWriter
+		done chan *httptest.ResponseRecorder
+	}
+	var stalled []pending
+	for i := 0; i < blockers; i++ {
+		pr, pw := io.Pipe()
+		done := make(chan *httptest.ResponseRecorder, 1)
+		req := httptest.NewRequest("POST", "/ingest", pr)
+		req.Header.Set("Content-Type", "application/json")
+		go func() {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			done <- w
+		}()
+		stalled = append(stalled, pending{pw, done})
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.inflight) < blockers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d slots occupied within 10s", len(s.inflight), blockers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The burst: every request must be shed immediately.
+	const burst = 32
+	var (
+		wg   sync.WaitGroup
+		shed atomic.Int64
+	)
+	body := mustJSON(t, streamRows(10, 10, 61))
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := do(t, h, "POST", "/ingest", "application/json", body)
+			if w.Code != http.StatusTooManyRequests {
+				t.Errorf("burst ingest at a full semaphore = %d, want 429", w.Code)
+				return
+			}
+			if w.Result().Header.Get("Retry-After") == "" {
+				t.Error("429 carries no Retry-After")
+			}
+			shed.Add(1)
+		}()
+	}
+	wg.Wait()
+	if shed.Load() != burst {
+		t.Fatalf("%d/%d burst requests shed", shed.Load(), burst)
+	}
+	if got := s.Counters().Snapshot().SheddedRequests; got != burst {
+		t.Fatalf("shed counter = %d, want %d", got, burst)
+	}
+
+	// Release the stalled requests: their slots were never stolen and
+	// their batches fold normally.
+	batch := mustJSON(t, streamRows(10, 20, 63))
+	for _, p := range stalled {
+		if _, err := p.pw.Write(batch); err != nil {
+			t.Fatal(err)
+		}
+		p.pw.Close()
+	}
+	for i, p := range stalled {
+		w := <-p.done
+		if w.Code != http.StatusOK {
+			t.Fatalf("stalled request %d = %d after release: %s", i, w.Code, w.Body)
+		}
+	}
+	wantPts := blockers * (2*20 + 4) // streamRows(…, 20, …) emits 2n+n/5 rows
+	s.mu.Lock()
+	eta := s.active.Eta
+	s.mu.Unlock()
+	if eta != wantPts {
+		t.Fatalf("tree holds %d points after the storm, want %d (shed requests must not fold)", eta, wantPts)
+	}
+	if got := s.Counters().Snapshot().BatchesIngested; got != int64(blockers) {
+		t.Fatalf("ingested counter = %d, want %d", got, blockers)
+	}
+}
+
+// TestShutdownWhileCheckpointing runs the full stack with an
+// aggressive checkpoint cadence and a durable WAL, cancels it while
+// checkpoints are in flight, and requires a clean drain: Run returns
+// without error, the final epilogue checkpoint covers every
+// acknowledged batch, and a fresh boot recovers bit-identical state.
+func TestShutdownWhileCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.ReclusterEvery = 20 * time.Millisecond
+	cfg.WALDir = filepath.Join(dir, "wal")
+	cfg.SnapshotPath = filepath.Join(dir, "shutdown.snap")
+	cfg.WALSync = "always"
+	cfg.CheckpointEvery = 10 * time.Millisecond
+	s := newTestServer(t, cfg)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, l, 2*time.Second) }()
+
+	base := "http://" + l.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Second}
+	rows := streamRows(10, 300, 65)
+	batches := [][][]float64{rows[:220], rows[220:440], rows[440:]}
+	for i, b := range batches {
+		resp, err := client.Post(base+"/ingest", "application/json", bytes.NewReader(mustJSON(t, b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d over TCP = %d", i, resp.StatusCode)
+		}
+	}
+	// Let at least one background checkpoint land, then pull the plug
+	// mid-cadence.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Counters().Snapshot().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no background checkpoint within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not drain within 10s of cancellation")
+	}
+
+	recovered := newTestServer(t, cfg)
+	requireTreeEqual(t, recovered, referenceTree(t, batches))
 }
 
 // TestRunGracefulShutdown boots the full Run stack on an ephemeral

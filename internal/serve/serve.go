@@ -32,6 +32,7 @@ import (
 	"mrcc/internal/ctree"
 	"mrcc/internal/obs"
 	"mrcc/internal/treeio"
+	"mrcc/internal/wal"
 )
 
 // normEps keeps domain maxima strictly below 1 after normalization,
@@ -80,6 +81,32 @@ type Config struct {
 	// warm-starts from on boot (when the file exists), writes on POST
 	// /snapshot/save, and saves a final time on graceful shutdown.
 	SnapshotPath string
+	// WALDir, when non-empty, enables the write-ahead ingest log:
+	// every accepted batch is appended (and, per WALSync, fsynced)
+	// before it is folded into the tree, and warm-start replays the
+	// log tail past the snapshot's checkpoint sequence — an
+	// acknowledged batch survives a crash. See DESIGN.md §13.
+	WALDir string
+	// WALSync selects the log's fsync policy: "interval" (default —
+	// fsync at most once per WALSyncEvery), "always" (fsync every
+	// append before acknowledging), or "none" (leave it to the OS).
+	WALSync string
+	// WALSyncEvery bounds the data-loss window under the "interval"
+	// policy (default 100ms).
+	WALSyncEvery time.Duration
+	// WALSegmentBytes rotates the log to a fresh segment once the
+	// active one reaches this size (default 64 MB).
+	WALSegmentBytes int64
+	// CheckpointEvery saves a checkpoint snapshot and truncates the
+	// covered WAL segments on this cadence, bounding replay time after
+	// a crash. Requires both WALDir and SnapshotPath. Zero disables
+	// the timer (checkpoints then happen only via POST /snapshot/save
+	// and on graceful shutdown).
+	CheckpointEvery time.Duration
+	// MaxInFlight bounds concurrently processed ingest requests;
+	// excess requests are shed with 429 + Retry-After instead of
+	// queueing without bound (default 64; negative disables the gate).
+	MaxInFlight int
 	// MaxBatchPoints caps the points accepted per ingest request
 	// (default 100000); MaxBodyBytes caps the request body (default
 	// 64 MB).
@@ -103,6 +130,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.WALSync == "" {
+		c.WALSync = "interval"
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
 	}
 	return c
 }
@@ -139,6 +172,17 @@ func (c Config) validate() error {
 	}
 	if c.ReclusterEvery == 0 && c.ReclusterPoints == 0 {
 		return errors.New("serve: at least one of ReclusterEvery and ReclusterPoints must be set")
+	}
+	if c.WALDir != "" {
+		if _, err := wal.ParseSyncPolicy(c.WALSync); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if c.CheckpointEvery < 0 {
+		return errors.New("serve: CheckpointEvery must be >= 0")
+	}
+	if c.CheckpointEvery > 0 && (c.WALDir == "" || c.SnapshotPath == "") {
+		return errors.New("serve: CheckpointEvery requires both WALDir and SnapshotPath")
 	}
 	return nil
 }
@@ -194,30 +238,58 @@ type Server struct {
 	aging       *ctree.Tree // previous window, immutable; nil until first rotation
 	sinceRecl   int         // points ingested since the last re-cluster snapshot
 	totalPoints int64       // lifetime accepted points (survives rotation drops)
+	appliedSeq  uint64      // last WAL sequence folded into the window trees
+
+	// ingestMu serializes WAL-append + tree-fold pairs in the durable
+	// path, so log order is exactly apply order. It is always taken
+	// before mu and never held across clustering or I/O besides the
+	// append itself.
+	ingestMu sync.Mutex
+	wal      *wal.Log      // nil unless Config.WALDir is set
+	inflight chan struct{} // ingest admission semaphore; nil = unbounded
 
 	kick chan struct{} // re-cluster trigger, capacity 1
 	cur  atomic.Pointer[view]
 	seq  atomic.Uint64
 
+	// Re-cluster failure containment: consecutive failure count (zeroed
+	// by the next success) and the last failure text, surfaced via
+	// /stats and /readyz while the last good view keeps serving.
+	reclusterFails   atomic.Int64
+	lastReclusterErr atomic.Pointer[string]
+	backoffBase      time.Duration // first retry delay after a failure
+
+	// Last completed checkpoint: covered WAL sequence and wall-clock
+	// (unix nanos; 0 = never), for /stats checkpoint age.
+	ckptSeq  atomic.Uint64
+	ckptNano atomic.Int64
+
 	loopDone chan struct{}
+	ckptDone chan struct{}
 }
 
 // New validates the config and assembles the service. When
 // Config.SnapshotPath names an existing snapshot, the active tree
 // warm-starts from it (geometry checked) and the first re-cluster pass
 // publishes a view for it right after Start — a restarted service
-// answers queries without re-ingesting its history.
+// answers queries without re-ingesting its history. With a WALDir
+// configured, the log tail past the snapshot's checkpoint sequence is
+// replayed on top before New returns, so the recovered tree holds
+// every acknowledged batch; a plain (trailer-less) snapshot replays
+// the whole log.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		active:   ctree.New(cfg.Dims, cfg.H),
-		kick:     make(chan struct{}, 1),
-		loopDone: make(chan struct{}),
-		started:  time.Now(),
+		cfg:         cfg,
+		active:      ctree.New(cfg.Dims, cfg.H),
+		kick:        make(chan struct{}, 1),
+		loopDone:    make(chan struct{}),
+		ckptDone:    make(chan struct{}),
+		backoffBase: 250 * time.Millisecond,
+		started:     time.Now(),
 	}
 	if cfg.Min != nil {
 		s.scale = make([]float64, cfg.Dims)
@@ -225,9 +297,10 @@ func New(cfg Config) (*Server, error) {
 			s.scale[j] = (1 - normEps) / (cfg.Max[j] - cfg.Min[j])
 		}
 	}
+	var ckptSeq uint64
 	if cfg.SnapshotPath != "" {
 		if _, err := os.Stat(cfg.SnapshotPath); err == nil {
-			t, err := treeio.LoadFile(cfg.SnapshotPath)
+			t, seq, hasSeq, err := treeio.LoadFileCheckpoint(cfg.SnapshotPath)
 			if err != nil {
 				return nil, fmt.Errorf("serve: warm-start snapshot: %w", err)
 			}
@@ -237,12 +310,34 @@ func New(cfg Config) (*Server, error) {
 			}
 			s.active = t
 			s.totalPoints = int64(t.Eta)
-			s.logf("warm-start: loaded %d points (%d cells) from %s", t.Eta, t.CellCount(), cfg.SnapshotPath)
+			if hasSeq {
+				ckptSeq = seq
+				s.ckptSeq.Store(seq)
+			}
+			s.logf("warm-start: loaded %d points (%d cells) from %s (checkpoint seq %d)", t.Eta, t.CellCount(), cfg.SnapshotPath, ckptSeq)
 		} else if !os.IsNotExist(err) {
 			return nil, fmt.Errorf("serve: warm-start snapshot: %w", err)
 		}
 	}
+	if cfg.WALDir != "" {
+		if err := s.openWAL(ckptSeq); err != nil {
+			return nil, fmt.Errorf("serve: wal: %w", err)
+		}
+	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	return s, nil
+}
+
+// Close releases the service's durable resources (the WAL handle).
+// Run calls it on the way out; embedders that drive Start/Wait
+// directly should call it once the loops exited.
+func (s *Server) Close() error {
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -283,7 +378,9 @@ func (s *Server) normalizePoint(p []float64) ([]float64, error) {
 
 // ingest validates and normalizes a batch and folds it into the active
 // tree under the ingest lock, then decides whether the new-points
-// trigger fires. It returns the lifetime accepted total.
+// trigger fires. It returns the lifetime accepted total. With a WAL
+// configured the fold goes through the durable path (append first,
+// fold second — see durable.go).
 func (s *Server) ingest(points [][]float64) (total int64, err error) {
 	if len(points) == 0 {
 		return 0, errors.New("empty batch")
@@ -298,6 +395,9 @@ func (s *Server) ingest(points [][]float64) (total int64, err error) {
 			return 0, fmt.Errorf("point %d: %w", i, err)
 		}
 		norm[i] = np
+	}
+	if s.wal != nil {
+		return s.ingestDurable(norm)
 	}
 	s.mu.Lock()
 	if err := s.active.InsertBatch(norm); err != nil {
@@ -325,9 +425,10 @@ func (s *Server) Kick() {
 	}
 }
 
-// Start launches the re-cluster loop; it stops when ctx is cancelled
-// (Wait blocks until then). A warm-started tree gets an immediate
-// first pass so the service answers queries right after boot.
+// Start launches the re-cluster loop (and, when configured, the
+// checkpoint loop); both stop when ctx is cancelled (Wait blocks until
+// then). A warm-started tree gets an immediate first pass so the
+// service answers queries right after boot.
 func (s *Server) Start(ctx context.Context) {
 	s.mu.Lock()
 	warm := s.active.Eta > 0
@@ -336,13 +437,28 @@ func (s *Server) Start(ctx context.Context) {
 		s.Kick()
 	}
 	go s.loop(ctx)
+	if s.wal != nil && s.cfg.CheckpointEvery > 0 {
+		go s.checkpointLoop(ctx)
+	} else {
+		close(s.ckptDone)
+	}
 }
 
-// Wait blocks until the re-cluster loop exited.
-func (s *Server) Wait() { <-s.loopDone }
+// Wait blocks until the re-cluster and checkpoint loops exited.
+func (s *Server) Wait() {
+	<-s.loopDone
+	<-s.ckptDone
+}
 
 // loop is the re-cluster scheduler: one goroutine serializes window
 // rotation and clustering, so the HTTP paths never run the pipeline.
+//
+// A failed pass is contained, not fatal: the last good view keeps
+// serving queries, the failure count is surfaced via /stats and
+// /readyz, and the loop backs off exponentially (backoffBase doubling
+// up to 64×) before retrying — triggers arriving inside the backoff
+// window are absorbed, so a persistently failing pipeline cannot spin
+// the CPU. The next success zeroes the backoff.
 func (s *Server) loop(ctx context.Context) {
 	defer close(s.loopDone)
 	var tick <-chan time.Time
@@ -358,9 +474,29 @@ func (s *Server) loop(ctx context.Context) {
 		case <-tick:
 		case <-s.kick:
 		}
-		if err := s.recluster(ctx); err != nil && ctx.Err() == nil {
-			s.logf("recluster: %v", err)
+		err := s.recluster(ctx)
+		if err == nil {
+			s.reclusterFails.Store(0)
+			continue
 		}
+		if ctx.Err() != nil {
+			return
+		}
+		fails := s.reclusterFails.Add(1)
+		msg := err.Error()
+		s.lastReclusterErr.Store(&msg)
+		shift := fails - 1
+		if shift > 6 {
+			shift = 6
+		}
+		delay := s.backoffBase << shift
+		s.logf("recluster failed (attempt %d, retrying in %v): %v", fails, delay, err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		s.Kick()
 	}
 }
 
@@ -450,10 +586,15 @@ var (
 
 // saveSnapshot persists the merged window trees to the configured
 // snapshot path (treeio's atomic, durable SaveFile). It is what POST
-// /snapshot/save and the shutdown epilogue run.
+// /snapshot/save and the shutdown epilogue run. With a WAL configured
+// it is a full checkpoint: the snapshot carries the applied sequence
+// and the covered log segments are truncated.
 func (s *Server) saveSnapshot() (int64, error) {
 	if s.cfg.SnapshotPath == "" {
 		return 0, errNoSnapshotPath
+	}
+	if s.wal != nil {
+		return s.checkpoint()
 	}
 	s.mu.Lock()
 	active := s.active.Clone()
@@ -476,9 +617,12 @@ func (s *Server) saveSnapshot() (int64, error) {
 
 // Run serves the service on l until ctx is cancelled, then shuts down
 // gracefully: in-flight requests drain (bounded by grace, default 5s
-// when zero), the re-cluster loop stops, and — when a snapshot path is
-// configured and data arrived — a final snapshot is saved so the next
-// boot warm-starts where this process left off.
+// when zero), the re-cluster and checkpoint loops stop, and — when a
+// snapshot path is configured and data arrived — a final snapshot (a
+// full checkpoint when the WAL is on) is saved so the next boot
+// warm-starts where this process left off. The embedded http.Server
+// carries read/header/idle deadlines so a stalled or byte-dribbling
+// client cannot pin a connection forever.
 func (s *Server) Run(ctx context.Context, l net.Listener, grace time.Duration) error {
 	if grace <= 0 {
 		grace = 5 * time.Second
@@ -486,7 +630,12 @@ func (s *Server) Run(ctx context.Context, l net.Listener, grace time.Duration) e
 	loopCtx, stopLoop := context.WithCancel(context.Background())
 	defer stopLoop()
 	s.Start(loopCtx)
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -506,6 +655,9 @@ func (s *Server) Run(ctx context.Context, l net.Listener, grace time.Duration) e
 		} else {
 			s.logf("shutdown: snapshot not saved: %v", serr)
 		}
+	}
+	if cerr := s.Close(); err == nil && cerr != nil {
+		err = cerr
 	}
 	return err
 }

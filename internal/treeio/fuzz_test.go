@@ -26,6 +26,21 @@ func fuzzSeedSnapshot() []byte {
 	return buf.Bytes()
 }
 
+// fuzzSeedCheckpoint is fuzzSeedSnapshot with a checkpoint trailer.
+func fuzzSeedCheckpoint(seq uint64) []byte {
+	rng := rand.New(rand.NewSource(77))
+	ds := layouts["clumped"](rng, 3, 120)
+	tr, err := ctree.Build(ds, 4)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := SaveCheckpoint(&buf, tr, seq); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
 // fixChecksums recomputes the column CRC directory and the header CRC
 // over a mutated snapshot, so corpus entries that corrupt the PAYLOAD
 // (out-of-range refs, impossible counts) get past the checksum layer
@@ -92,23 +107,43 @@ func FuzzLoadTree(f *testing.F) {
 	usedOff := binary.LittleEndian.Uint64(badBool[48+2*24:])
 	badBool[usedOff+1] = 7
 	f.Add(fixChecksums(badBool))
+	// Checkpoint-trailer'd snapshot, plus trailer damage: flipped trailer
+	// CRC, flipped sequence byte, non-zero padding, truncated trailer.
+	ckpt := fuzzSeedCheckpoint(42)
+	f.Add(append([]byte(nil), ckpt...))
+	badTrCRC := append([]byte(nil), ckpt...)
+	badTrCRC[len(badTrCRC)-7] ^= 0x01
+	f.Add(badTrCRC)
+	badTrSeq := append([]byte(nil), ckpt...)
+	badTrSeq[len(badTrSeq)-16] ^= 0x01
+	f.Add(badTrSeq)
+	badTrPad := append([]byte(nil), ckpt...)
+	badTrPad[len(badTrPad)-1] = 0xAA
+	f.Add(badTrPad)
+	f.Add(append([]byte(nil), ckpt[:len(ckpt)-TrailerSize]...))
 	// Empty and tiny inputs.
 	f.Add([]byte{})
 	f.Add([]byte(Magic))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tr, err := LoadBytes(data)
+		tr, seq, hasSeq, err := LoadBytesCheckpoint(data)
 		if err != nil {
 			var fe *FormatError
 			if !errors.As(err, &fe) {
-				t.Fatalf("LoadBytes returned an untyped error %T: %v", err, err)
+				t.Fatalf("LoadBytesCheckpoint returned an untyped error %T: %v", err, err)
 			}
 			return
 		}
 		// Accepted: the input must be a canonical snapshot of the tree it
-		// produced.
+		// produced — re-save through the same save path (checkpoint'd or
+		// plain) and demand byte identity.
 		var buf bytes.Buffer
-		if _, err := Save(&buf, tr); err != nil {
+		if hasSeq {
+			_, err = SaveCheckpoint(&buf, tr, seq)
+		} else {
+			_, err = Save(&buf, tr)
+		}
+		if err != nil {
 			t.Fatalf("re-saving an accepted tree: %v", err)
 		}
 		if !bytes.Equal(buf.Bytes(), data) {
@@ -164,5 +199,32 @@ func TestFuzzSeedsRejectTyped(t *testing.T) {
 		off := binary.LittleEndian.Uint64(b[48+5*24:])
 		binary.LittleEndian.PutUint32(b[off+3*4:], 1<<29)
 		return fixChecksums(b)
+	})
+
+	ckpt := fuzzSeedCheckpoint(42)
+	if _, seq, hasSeq, err := LoadBytesCheckpoint(ckpt); err != nil || seq != 42 || !hasSeq {
+		t.Fatalf("pristine checkpoint seed: seq=%d hasSeq=%v err=%v, want 42/true/nil", seq, hasSeq, err)
+	}
+	mutateCkpt := func(name string, fn func(b []byte) []byte) {
+		b := fn(append([]byte(nil), ckpt...))
+		_, _, _, err := LoadBytesCheckpoint(b)
+		if err == nil {
+			t.Errorf("%s: corrupt checkpoint snapshot accepted", name)
+			return
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: untyped error %T: %v", name, err, err)
+		}
+	}
+	mutateCkpt("flipped trailer checksum", func(b []byte) []byte { b[len(b)-7] ^= 1; return b })
+	mutateCkpt("flipped trailer sequence", func(b []byte) []byte { b[len(b)-16] ^= 1; return b })
+	mutateCkpt("non-zero trailer padding", func(b []byte) []byte { b[len(b)-1] = 0xAA; return b })
+	mutateCkpt("truncated trailer", func(b []byte) []byte { return b[:len(b)-TrailerSize] })
+	mutateCkpt("unknown flag bit", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:16], FlagCheckpointSeq|0x2)
+		binary.LittleEndian.PutUint32(b[44:48], 0)
+		binary.LittleEndian.PutUint32(b[44:48], crc32.Checksum(b[:HeaderSize], castagnoli))
+		return b
 	})
 }

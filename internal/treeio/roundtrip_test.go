@@ -162,6 +162,52 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointRoundTrip pins the trailer'd variant: SaveFileCheckpoint
+// records the covered WAL sequence, LoadFileCheckpoint returns the same
+// tree plus that exact sequence, and a plain snapshot of the same tree
+// reports hasSeq=false with seq 0 while staying byte-identical to the
+// pre-trailer format (the trailer'd image is exactly the plain image
+// plus 16 bytes, with only the header's flags word and CRC differing).
+func TestCheckpointRoundTrip(t *testing.T) {
+	orig := buildTree(t, "clumped", 4, 300, 4, 99)
+	for _, seq := range []uint64{0, 1, 42, 1 << 40} {
+		path := filepath.Join(t.TempDir(), "ckpt.snap")
+		written, err := SaveFileCheckpoint(path, orig, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, gotSeq, hasSeq, err := LoadFileCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasSeq || gotSeq != seq {
+			t.Fatalf("LoadFileCheckpoint: seq=%d hasSeq=%v, want %d/true", gotSeq, hasSeq, seq)
+		}
+		if !ctree.Equal(orig, loaded) {
+			t.Fatal("checkpoint-loaded tree differs from the saved one")
+		}
+
+		var plain bytes.Buffer
+		if _, err := Save(&plain, orig); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(plain.Len()) + TrailerSize; written != want {
+			t.Fatalf("checkpoint snapshot is %d bytes, want plain size + trailer = %d", written, want)
+		}
+		// The plain format is untouched by the trailer feature.
+		pt, pseq, phas, err := LoadBytesCheckpoint(plain.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phas || pseq != 0 {
+			t.Fatalf("plain snapshot decoded as checkpoint: seq=%d hasSeq=%v", pseq, phas)
+		}
+		if !ctree.Equal(orig, pt) {
+			t.Fatal("plain snapshot via LoadBytesCheckpoint differs")
+		}
+	}
+}
+
 func testName(d, H int) string {
 	return "d" + itoa(d) + "H" + itoa(H)
 }

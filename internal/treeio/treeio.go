@@ -63,6 +63,19 @@ const Version = 1
 // HeaderSize is the fixed size of the snapshot header in bytes.
 const HeaderSize = 192
 
+// FlagCheckpointSeq marks a snapshot that carries a checkpoint trailer
+// after its last column: 16 bytes holding the write-ahead-log sequence
+// the snapshot covers (uint64 LE), a CRC-32C of those 8 bytes, and 4
+// zero pad bytes. The streaming service writes it so recovery knows
+// exactly which WAL records the snapshot already contains — replay
+// starts one past the trailer's sequence, never double-applying a
+// batch. Snapshots without the flag are the plain format of PR 6,
+// byte for byte.
+const FlagCheckpointSeq = 0x1
+
+// TrailerSize is the checkpoint trailer's size in bytes.
+const TrailerSize = 16
+
 // numColumns is the column count of format version 1.
 const numColumns = 6
 
@@ -109,6 +122,7 @@ type layout struct {
 	d, h    int
 	rows    int
 	eta     int
+	hasSeq  bool // FlagCheckpointSeq: a checkpoint trailer follows the columns
 	colSize [numColumns]uint64
 	colCRC  [numColumns]uint32
 }
@@ -125,6 +139,9 @@ func (l *layout) totalSize() uint64 {
 	for _, s := range l.colSize {
 		total += s
 	}
+	if l.hasSeq {
+		total += TrailerSize
+	}
 	return total
 }
 
@@ -132,22 +149,38 @@ func (l *layout) totalSize() uint64 {
 // written: one buffered header write, then one Write per arena column.
 // The tree must not be mutated concurrently.
 func Save(w io.Writer, t *ctree.Tree) (int64, error) {
+	return save(w, t, 0, false)
+}
+
+// SaveCheckpoint writes the tree's snapshot with a checkpoint trailer
+// declaring that every write-ahead-log record with sequence <= seq is
+// already folded into the tree (FlagCheckpointSeq). Recovery loads the
+// snapshot and replays only the records past seq.
+func SaveCheckpoint(w io.Writer, t *ctree.Tree, seq uint64) (int64, error) {
+	return save(w, t, seq, true)
+}
+
+func save(w io.Writer, t *ctree.Tree, seq uint64, hasSeq bool) (int64, error) {
 	if t == nil {
 		return 0, fmt.Errorf("treeio: nil tree")
 	}
 	c := t.Columns()
 	rows := c.Rows()
-	l := layout{d: t.D, h: t.H, rows: rows, eta: t.Eta}
+	l := layout{d: t.D, h: t.H, rows: rows, eta: t.Eta, hasSeq: hasSeq}
 	l.columnSizes()
 
 	cols := [numColumns][]byte{
 		u64Bytes(c.Loc), i32Bytes(c.N), boolBytes(c.Used),
 		c.Level, refBytes(c.Parent), i32Bytes(c.P),
 	}
+	flags := uint32(0)
+	if hasSeq {
+		flags = FlagCheckpointSeq
+	}
 	var hdr [HeaderSize]byte
 	copy(hdr[0:8], Magic)
 	binary.LittleEndian.PutUint32(hdr[8:12], Version)
-	binary.LittleEndian.PutUint32(hdr[12:16], 0) // flags
+	binary.LittleEndian.PutUint32(hdr[12:16], flags)
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(t.D))
 	binary.LittleEndian.PutUint32(hdr[20:24], uint32(t.H))
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(rows))
@@ -176,7 +209,22 @@ func Save(w io.Writer, t *ctree.Tree) (int64, error) {
 			return written, err
 		}
 	}
+	if hasSeq {
+		n, err := w.Write(encodeTrailer(seq))
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
 	return written, nil
+}
+
+// encodeTrailer renders the 16-byte checkpoint trailer for seq.
+func encodeTrailer(seq uint64) []byte {
+	var tr [TrailerSize]byte
+	binary.LittleEndian.PutUint64(tr[0:8], seq)
+	binary.LittleEndian.PutUint32(tr[8:12], crc32.Checksum(tr[0:8], castagnoli))
+	return tr[:]
 }
 
 // Test seams for the injected-failure suite (savefile_test.go): the
@@ -197,6 +245,17 @@ var (
 // continuously (the streaming service saves on a cadence) never
 // accumulates stranded *.tmp files.
 func SaveFile(path string, t *ctree.Tree) (written int64, err error) {
+	return saveFile(path, t, 0, false)
+}
+
+// SaveFileCheckpoint is SaveFile with a checkpoint trailer declaring
+// WAL coverage up to seq (see SaveCheckpoint), with the same atomicity
+// and durability contract.
+func SaveFileCheckpoint(path string, t *ctree.Tree, seq uint64) (written int64, err error) {
+	return saveFile(path, t, seq, true)
+}
+
+func saveFile(path string, t *ctree.Tree, seq uint64, hasSeq bool) (written int64, err error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -215,7 +274,7 @@ func SaveFile(path string, t *ctree.Tree) (written int64, err error) {
 			written = 0
 		}
 	}()
-	written, err = Save(f, t)
+	written, err = save(f, t, seq, hasSeq)
 	if err == nil {
 		err = syncFile(f)
 	}
@@ -249,22 +308,36 @@ func syncDir(dir string) (err error) {
 // LoadFile loads a snapshot from path (see Load for the validation
 // contract).
 func LoadFile(path string) (*ctree.Tree, error) {
+	t, _, _, err := LoadFileCheckpoint(path)
+	return t, err
+}
+
+// LoadFileCheckpoint loads a snapshot from path and additionally
+// returns its checkpoint sequence: hasSeq reports whether the snapshot
+// carries a checkpoint trailer (FlagCheckpointSeq), and seq is the
+// write-ahead-log sequence it declares covered (0 when absent).
+func LoadFileCheckpoint(path string) (t *ctree.Tree, seq uint64, hasSeq bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
-	return Load(f, fi.Size())
+	return LoadCheckpoint(f, fi.Size())
 }
 
 // LoadBytes loads a snapshot from an in-memory byte slice (see Load
 // for the validation contract).
 func LoadBytes(b []byte) (*ctree.Tree, error) {
 	return Load(bytes.NewReader(b), int64(len(b)))
+}
+
+// LoadBytesCheckpoint is LoadCheckpoint over an in-memory byte slice.
+func LoadBytesCheckpoint(b []byte) (*ctree.Tree, uint64, bool, error) {
+	return LoadCheckpoint(bytes.NewReader(b), int64(len(b)))
 }
 
 // Load reads one snapshot of exactly size bytes from r and assembles
@@ -276,16 +349,26 @@ func LoadBytes(b []byte) (*ctree.Tree, error) {
 // a live build of the same cell set ends with, so its MemoryBytes
 // equals the saved tree's.
 func Load(r io.Reader, size int64) (*ctree.Tree, error) {
+	t, _, _, err := LoadCheckpoint(r, size)
+	return t, err
+}
+
+// LoadCheckpoint is Load plus the checkpoint trailer: hasSeq reports
+// whether the snapshot declares WAL coverage (FlagCheckpointSeq) and
+// seq is the covered sequence (0 when absent). The trailer is
+// checksummed like everything else; a damaged one is a *FormatError,
+// never a silently wrong recovery point.
+func LoadCheckpoint(r io.Reader, size int64) (*ctree.Tree, uint64, bool, error) {
 	if size < HeaderSize {
-		return nil, headerErr("%d bytes is shorter than the %d-byte header", size, HeaderSize)
+		return nil, 0, false, headerErr("%d bytes is shorter than the %d-byte header", size, HeaderSize)
 	}
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, readErr("header", err)
+		return nil, 0, false, readErr("header", err)
 	}
 	l, err := parseHeader(hdr, uint64(size))
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 
 	// Geometry is proven consistent with the byte count: allocate the
@@ -306,10 +389,10 @@ func Load(r io.Reader, size int64) (*ctree.Tree, error) {
 	}
 	for i, view := range views {
 		if _, err := io.ReadFull(r, view); err != nil {
-			return nil, readErr("column "+columnNames[i], err)
+			return nil, 0, false, readErr("column "+columnNames[i], err)
 		}
 		if sum := crc32.Checksum(view, castagnoli); sum != l.colCRC[i] {
-			return nil, &FormatError{
+			return nil, 0, false, &FormatError{
 				Section: "column " + columnNames[i],
 				Msg:     fmt.Sprintf("checksum %#08x does not match the header's %#08x", sum, l.colCRC[i]),
 			}
@@ -320,16 +403,35 @@ func Load(r io.Reader, size int64) (*ctree.Tree, error) {
 	// touched the bytes, so this scan is cache-warm).
 	for i, b := range views[2] {
 		if b > 1 {
-			return nil, &FormatError{Section: "column used", Msg: fmt.Sprintf("row %d holds byte %#02x, want 0 or 1", i, b)}
+			return nil, 0, false, &FormatError{Section: "column used", Msg: fmt.Sprintf("row %d holds byte %#02x, want 0 or 1", i, b)}
 		}
 	}
 	decodeInPlace(c, views)
 
+	var seq uint64
+	if l.hasSeq {
+		var tr [TrailerSize]byte
+		if _, err := io.ReadFull(r, tr[:]); err != nil {
+			return nil, 0, false, readErr("trailer", err)
+		}
+		declared := binary.LittleEndian.Uint32(tr[8:12])
+		if sum := crc32.Checksum(tr[0:8], castagnoli); sum != declared {
+			return nil, 0, false, &FormatError{
+				Section: "trailer",
+				Msg:     fmt.Sprintf("checksum %#08x does not match the declared %#08x", sum, declared),
+			}
+		}
+		if p := binary.LittleEndian.Uint32(tr[12:16]); p != 0 {
+			return nil, 0, false, &FormatError{Section: "trailer", Msg: fmt.Sprintf("padding %#x, want 0", p)}
+		}
+		seq = binary.LittleEndian.Uint64(tr[0:8])
+	}
+
 	t, err := ctree.NewFromColumns(l.d, l.h, l.eta, c)
 	if err != nil {
-		return nil, &FormatError{Section: "tree", Msg: err.Error(), Err: err}
+		return nil, 0, false, &FormatError{Section: "tree", Msg: err.Error(), Err: err}
 	}
-	return t, nil
+	return t, seq, l.hasSeq, nil
 }
 
 // parseHeader validates the fixed header against the actual snapshot
@@ -342,8 +444,9 @@ func parseHeader(hdr [HeaderSize]byte, size uint64) (*layout, error) {
 	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
 		return nil, headerErr("unsupported format version %d (this build reads version %d)", v, Version)
 	}
-	if f := binary.LittleEndian.Uint32(hdr[12:16]); f != 0 {
-		return nil, headerErr("unknown flags %#x", f)
+	flags := binary.LittleEndian.Uint32(hdr[12:16])
+	if flags&^uint32(FlagCheckpointSeq) != 0 {
+		return nil, headerErr("unknown flags %#x", flags)
 	}
 	declared := binary.LittleEndian.Uint32(hdr[44:48])
 	var scratch [HeaderSize]byte
@@ -371,7 +474,7 @@ func parseHeader(hdr [HeaderSize]byte, size uint64) (*layout, error) {
 	if nc := binary.LittleEndian.Uint32(hdr[40:44]); nc != numColumns {
 		return nil, headerErr("column count %d, want %d", nc, numColumns)
 	}
-	l := &layout{d: int(d), h: int(h), rows: int(rows), eta: int(eta)}
+	l := &layout{d: int(d), h: int(h), rows: int(rows), eta: int(eta), hasSeq: flags&FlagCheckpointSeq != 0}
 	l.columnSizes()
 	if total := l.totalSize(); total != size {
 		return nil, headerErr("geometry (d=%d, rows=%d) dictates %d bytes, snapshot holds %d", d, rows, total, size)

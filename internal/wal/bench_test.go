@@ -1,0 +1,43 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend measures the append path per fsync policy with a
+// payload sized like the service's ingest batches (64 points of 15
+// float64 axes plus the batch header). The per-policy spread is the
+// durability price list: "always" pays one fsync per acknowledged
+// batch, "interval" amortizes it over the flush cadence, "none" leaves
+// flushing to the OS. Reported as points/s so the rows compare
+// directly against the build and scan benches.
+func BenchmarkWALAppend(b *testing.B) {
+	const (
+		pointsPerBatch = 64
+		dims           = 15
+	)
+	payload := make([]byte, 8+pointsPerBatch*dims*8)
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		b.Run(fmt.Sprintf("fsync=%s", pol), func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{Sync: pol, SyncEvery: 100 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(recordHeaderSize + len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*pointsPerBatch)/b.Elapsed().Seconds(), "points/s")
+			if got := l.LastSeq(); got != uint64(b.N) {
+				b.Fatalf("appended %d records, LastSeq = %d", b.N, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+//go:build fault
+
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"mrcc/internal/fault"
+)
+
+// TestAppendFaultTearsRecordAndSticks drives the mid-append injection
+// point: the failed append leaves a torn record on disk (header
+// without payload), the log goes sticky-broken, and reopening the
+// directory truncates the tear away and resumes at the torn record's
+// sequence.
+func TestAppendFaultTearsRecordAndSticks(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("crash mid-append")
+	fault.Set(fault.WALAppend, func() error { return boom })
+	if _, err := l.Append(payload(5)); !errors.Is(err, boom) {
+		t.Fatalf("faulted append returned %v, want the injected error", err)
+	}
+	// The log is sticky-broken: the torn bytes make further appends
+	// unsafe until a reopen truncates them away.
+	if _, err := l.Append(payload(6)); err == nil {
+		t.Fatal("append after a failed append succeeded on a broken log")
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn append: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq after recovery = %d, want 5", got)
+	}
+	n := 0
+	if err := l2.Replay(0, func(uint64, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("replay after recovery: %d records, want 5", n)
+	}
+	if seq, err := l2.Append(payload(5)); err != nil || seq != 6 {
+		t.Fatalf("append after recovery: seq=%d err=%v", seq, err)
+	}
+}
+
+// TestSyncFaultLeavesRecordRecoverable: a crash at the fsync point
+// happens after the record bytes went out, so the un-acknowledged
+// record survives on disk — the at-least-once edge the service
+// documents. The log must still reopen cleanly.
+func TestSyncFaultLeavesRecordRecoverable(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("crash mid-fsync")
+	fault.Set(fault.WALSync, func() error { return boom })
+	if _, err := l.Append(payload(1)); !errors.Is(err, boom) {
+		t.Fatalf("faulted sync returned %v", err)
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	n := 0
+	if err := l2.Replay(0, func(uint64, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replay after sync fault: %d records, want 2 (record fully written before the fsync)", n)
+	}
+}
+
+// TestRotateFaultKeepsSealedSegments: a crash at the rotation point
+// leaves the already-sealed data intact; reopen resumes appending.
+func TestRotateFaultKeepsSealedSegments(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("crash mid-rotate")
+	fault.Set(fault.WALRotate, func() error { return boom })
+	// The tiny SegmentBytes means this append wants a rotation first.
+	if _, err := l.Append(payload(2)); !errors.Is(err, boom) {
+		t.Fatalf("faulted rotate returned %v", err)
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("reopen after rotate fault: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq after rotate fault = %d, want 2", got)
+	}
+	if seq, err := l2.Append(payload(2)); err != nil || seq != 3 {
+		t.Fatalf("append after rotate recovery: seq=%d err=%v", seq, err)
+	}
+}
