@@ -114,15 +114,31 @@ func (s *Server) openWAL(ckptSeq uint64) error {
 	if err != nil {
 		return err
 	}
-	// A fully truncated log must not re-issue sequences the snapshot
-	// already covers: the next append continues past the checkpoint.
-	l.EnsureNextSeq(ckptSeq + 1)
+	// A log that is entirely behind the snapshot must not re-issue
+	// sequences the snapshot already covers: the next append continues
+	// past the checkpoint (dropping the covered records, which replay
+	// would skip anyway).
+	if err := l.EnsureNextSeq(ckptSeq + 1); err != nil {
+		l.Close()
+		return err
+	}
 	s.appliedSeq = ckptSeq
-	replayed, points := 0, 0
+	replayed, points, rotations := 0, 0, 0
 	err = l.Replay(ckptSeq, func(seq uint64, payload []byte) error {
 		pts, err := decodeBatch(payload, s.cfg.Dims)
 		if err != nil {
 			return fmt.Errorf("wal record %d: %w", seq, err)
+		}
+		// Replay honors the window bound the way live operation does
+		// (snapshotTrees rotates once the active tree reaches
+		// WindowPoints): without rotation, a tail spanning many windows
+		// would pile into one tree and could overrun ctree.MaxPoints,
+		// failing boot on a log the live service happily acknowledged.
+		if s.cfg.WindowPoints > 0 && s.active.Eta >= s.cfg.WindowPoints {
+			s.aging = s.active
+			s.active = ctree.New(s.cfg.Dims, s.cfg.H)
+			rotations++
+			s.counters.AddRotation()
 		}
 		if err := s.active.InsertBatch(pts); err != nil {
 			return fmt.Errorf("wal record %d: %w", seq, err)
@@ -140,7 +156,7 @@ func (s *Server) openWAL(ckptSeq uint64) error {
 	s.totalPoints += int64(points)
 	s.counters.AddWALReplayed(replayed)
 	if replayed > 0 {
-		s.logf("warm-start: replayed %d batches (%d points) from the WAL tail past sequence %d", replayed, points, ckptSeq)
+		s.logf("warm-start: replayed %d batches (%d points, %d window rotations) from the WAL tail past sequence %d", replayed, points, rotations, ckptSeq)
 	}
 	return nil
 }
@@ -207,7 +223,17 @@ func (s *Server) ingestDurable(norm [][]float64) (total int64, err error) {
 // contains. The fault.Checkpoint injection point sits between the two
 // steps: a crash there leaves covered records in the log, and replay's
 // sequence filter makes that harmless.
+//
+// ckptMu makes the whole save-then-truncate protocol single-flight.
+// The timer loop, POST /snapshot/save and the shutdown epilogue can
+// all call here; if two checkpoints interleaved, the one that captured
+// the older sequence could rename its snapshot into place after the
+// newer one already truncated the log — the on-disk snapshot would
+// then declare a coverage the removed segments no longer back, and the
+// next boot would lose acknowledged batches.
 func (s *Server) checkpoint() (int64, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	active := s.active.Clone()
 	aging := s.aging

@@ -220,6 +220,62 @@ func TestIngestSheddingUnderSaturation(t *testing.T) {
 	}
 }
 
+// TestConcurrentCheckpointsNeverLoseCoverage hammers the checkpoint
+// path from several goroutines (the shapes of the timer loop and POST
+// /snapshot/save racing) while batches keep arriving, with tiny
+// segments so truncation really removes files. The protocol must be
+// single-flight: an interleaved pair could otherwise rename an older
+// snapshot into place after a newer checkpoint truncated the log,
+// declaring coverage the removed segments no longer back. Recovery
+// after the storm must hold every acknowledged batch, and the recorded
+// checkpoint sequence must never regress.
+func TestConcurrentCheckpointsNeverLoseCoverage(t *testing.T) {
+	cfg := durableConfig(t)
+	cfg.WALSegmentBytes = 1 << 10
+	s := newTestServer(t, cfg)
+	rows := streamRows(10, 300, 71) // 660 rows
+	var batches [][][]float64
+	for i := 0; i+30 <= len(rows); i += 30 {
+		batches = append(batches, rows[i : i+30])
+	}
+
+	const checkpointers = 4
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+	for g := 0; g < checkpointers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for !stop.Load() {
+				if _, err := s.saveSnapshot(); err != nil && err != errNothingIngested {
+					t.Errorf("concurrent checkpoint: %v", err)
+					return
+				}
+				if got := s.ckptSeq.Load(); got < last {
+					t.Errorf("checkpoint sequence regressed: %d after %d", got, last)
+					return
+				} else {
+					last = got
+				}
+			}
+		}()
+	}
+	ingestBatches(t, s, batches)
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Crash and recover: no interleaving may have truncated records an
+	// on-disk snapshot does not cover.
+	recovered := newTestServer(t, cfg)
+	requireTreeEqual(t, recovered, referenceTree(t, batches))
+}
+
 // TestShutdownWhileCheckpointing runs the full stack with an
 // aggressive checkpoint cadence and a durable WAL, cancels it while
 // checkpoints are in flight, and requires a clean drain: Run returns

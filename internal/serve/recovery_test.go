@@ -337,6 +337,41 @@ func TestStatsWALBlock(t *testing.T) {
 	}
 }
 
+// TestReplayAppliesWindowRotation: a windowed service replaying a long
+// uncheckpointed tail rotates during replay exactly as live operation
+// would — without it, the whole tail would pile into one tree and a
+// tail spanning many windows could overrun ctree.MaxPoints, refusing
+// to boot on a log the live service acknowledged in full.
+func TestReplayAppliesWindowRotation(t *testing.T) {
+	cfg := durableConfig(t)
+	cfg.WindowPoints = 150
+	s := newTestServer(t, cfg)
+	rows := streamRows(10, 100, 67) // 220 rows
+	var batches [][][]float64
+	for i := 0; i+55 <= len(rows); i += 55 { // 4 batches of 55
+		batches = append(batches, rows[i : i+55])
+	}
+	ingestBatches(t, s, batches)
+	// Crash with no checkpoint: the whole stream is in the WAL tail.
+
+	recovered := newTestServer(t, cfg)
+	recovered.mu.Lock()
+	active, aging := recovered.active, recovered.aging
+	recovered.mu.Unlock()
+	// Rotation fires before the batch that finds the active tree at or
+	// past the bound: 55+55+55 = 165 >= 150 rotates, the last 55 start
+	// a fresh window.
+	if aging == nil {
+		t.Fatal("replay of a multi-window tail performed no rotation")
+	}
+	if aging.Eta != 165 || active.Eta != 55 {
+		t.Fatalf("recovered windows hold %d aging / %d active points, want 165/55", aging.Eta, active.Eta)
+	}
+	if got := recovered.Counters().Snapshot().Rotations; got != 1 {
+		t.Fatalf("rotation counter = %d, want 1", got)
+	}
+}
+
 // TestWarmStartGeometryMismatchWithWAL: a WAL written by a service
 // with different dims is refused at boot, not folded as garbage.
 func TestWALDimsMismatchRefused(t *testing.T) {

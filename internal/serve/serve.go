@@ -259,6 +259,11 @@ type Server struct {
 	lastReclusterErr atomic.Pointer[string]
 	backoffBase      time.Duration // first retry delay after a failure
 
+	// ckptMu serializes the checkpoint save-then-truncate protocol
+	// across the timer loop, POST /snapshot/save and the shutdown
+	// epilogue (see checkpoint in durable.go). Taken before mu, never
+	// held by the ingest or query paths.
+	ckptMu sync.Mutex
 	// Last completed checkpoint: covered WAL sequence and wall-clock
 	// (unix nanos; 0 = never), for /stats checkpoint age.
 	ckptSeq  atomic.Uint64

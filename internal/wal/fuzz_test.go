@@ -154,7 +154,12 @@ func TestFuzzSeedsDirect(t *testing.T) {
 	run("bad magic", badMagic, 0, true)
 	flip := append([]byte(nil), valid...)
 	flip[SegmentHeaderSize+recordHeaderSize+2] ^= 0x40
-	run("flipped payload", flip, 0, false) // torn at record 1: 0 records survive
+	run("flipped payload", flip, 0, true) // records 2..6 intact behind the damage: corruption, not a tear
+	// The same flip in the final record leaves nothing intact behind it
+	// — that is the torn-tail shape, truncated away.
+	flipLast := append([]byte(nil), valid...)
+	flipLast[len(flipLast)-1] ^= 0x40
+	run("flipped final payload", flipLast, 5, false)
 	skipSeq := appendRecord(fuzzSeedSegment(2), 7, []byte("jump"))
 	run("sequence jump", skipSeq, 2, false) // torn at the jump: prefix survives
 }

@@ -296,6 +296,17 @@ func (l *Log) scanSegment(seg *segment, expect *uint64, final bool) error {
 		if !final || (valid == 0 && len(data) >= SegmentHeaderSize) {
 			return ferr
 		}
+		// A torn write's damage extends to end of file. If an intact
+		// record parses anywhere past the violation, the damage is a hole
+		// in the middle of acknowledged records — corruption, not a tail
+		// to quietly drop.
+		next := *expect
+		if last > 0 {
+			next = last + 1
+		}
+		if intactRecordAfter(data, valid, next) {
+			return ferr
+		}
 		// Crash artifact on the tail: drop the damaged suffix.
 		if err := os.Truncate(seg.fullPath, valid); err != nil {
 			return err
@@ -363,6 +374,32 @@ func scanRecords(name string, data []byte, expect uint64) (valid int64, first, l
 		off += recordHeaderSize + int64(n)
 	}
 	return off, first, last, nil
+}
+
+// intactRecordAfter reports whether a complete, checksum-valid record
+// starts anywhere after a violation at offset from — the evidence that
+// distinguishes a mid-file hole (corruption) from a torn tail (damage
+// through EOF). next is the sequence the damaged record was due to
+// carry (0 accepts any); a candidate must land in the window of
+// sequences that could physically follow it, which keeps the CRC from
+// running on arbitrary garbage.
+func intactRecordAfter(data []byte, from int64, next uint64) bool {
+	maxRecords := uint64(len(data)) / recordHeaderSize
+	for off := from + 1; off+recordHeaderSize <= int64(len(data)); off++ {
+		rest := data[off:]
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		if int64(n) > MaxPayloadBytes || off+recordHeaderSize+int64(n) > int64(len(data)) {
+			continue
+		}
+		seq := binary.LittleEndian.Uint64(rest[8:16])
+		if seq == 0 || (next != 0 && (seq <= next || seq > next+maxRecords)) {
+			continue
+		}
+		if crc32.Checksum(rest[8:recordHeaderSize+int(n)], castagnoli) == binary.LittleEndian.Uint32(rest[4:8]) {
+			return true
+		}
+	}
+	return false
 }
 
 // appendRecord renders the wire form of one record.
@@ -530,17 +567,40 @@ func (l *Log) LastSeq() uint64 {
 	return l.nextSeq - 1
 }
 
-// EnsureNextSeq raises the next assigned sequence to at least seq. The
-// service calls it after loading a checkpoint whose sequence outruns
-// the log (segments removed out of band): without the bump, new
-// appends would reuse covered sequence numbers and replay would
-// silently skip them.
-func (l *Log) EnsureNextSeq(seq uint64) {
+// EnsureNextSeq raises the next assigned sequence to at least seq,
+// asserting that every sequence below seq is durably covered by the
+// caller's checkpoint. The service calls it after loading a checkpoint
+// whose sequence outruns the log (a WAL directory restored from an
+// older backup than the snapshot): without the bump, new appends would
+// reuse covered sequence numbers and replay would silently skip them.
+//
+// When the log still holds records, appending seq right after them
+// would write a sequence gap mid-stream — which the next Open rejects
+// as corruption — so the log instead rotates to a fresh segment
+// starting at seq and removes the sealed segments, all of whose
+// records the checkpoint covers, exactly as TruncateTo(seq-1) would.
+func (l *Log) EnsureNextSeq(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.nextSeq < seq {
-		l.nextSeq = seq
+	if l.nextSeq >= seq {
+		return nil
 	}
+	l.nextSeq = seq
+	if len(l.segs) == 1 && l.segs[0].last == 0 {
+		// Empty log: the next append simply starts at seq. The first
+		// record of the first segment may carry any sequence, so the
+		// scan accepts the result without a rotation.
+		return nil
+	}
+	if err := l.rotateLocked(); err != nil {
+		l.broken = err
+		return err
+	}
+	if err := l.truncateLocked(seq - 1); err != nil {
+		l.broken = err
+		return err
+	}
+	return nil
 }
 
 // Stats reports the lifetime append count and byte volume of this
@@ -559,6 +619,10 @@ func (l *Log) Stats() (appends, bytes int64, segments int) {
 func (l *Log) TruncateTo(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.truncateLocked(seq)
+}
+
+func (l *Log) truncateLocked(seq uint64) error {
 	kept := l.segs[:0]
 	removed := false
 	for i, seg := range l.segs {

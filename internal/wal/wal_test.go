@@ -214,11 +214,12 @@ func TestTornTailRecovered(t *testing.T) {
 	}
 }
 
-// TestCorruptTailTruncatedAtFirstBadRecord: a flipped byte mid-way
-// through the final segment ends the log there — the records before it
-// survive, the ones after it (unreachable behind the corruption) are
-// dropped, and the log keeps working.
-func TestCorruptTailTruncatedAtFirstBadRecord(t *testing.T) {
+// TestMidFileCorruptionIsTypedError: a flipped byte mid-way through
+// the final segment, with intact records still parsing after it, is a
+// hole in the middle of acknowledged data — a torn write's damage
+// extends to EOF. Open must surface the *FormatError instead of
+// silently truncating away the fsync-acknowledged records behind it.
+func TestMidFileCorruptionIsTypedError(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, Options{})
 	if err != nil {
@@ -245,17 +246,60 @@ func TestCorruptTailTruncatedAtFirstBadRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	_, err = Open(dir, Options{})
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Open over mid-file corruption returned %T, want *FormatError: %v", err, err)
+	}
+	if fe.Offset != offsets[6] {
+		t.Fatalf("FormatError at offset %d, want %d (the damaged record)", fe.Offset, offsets[6])
+	}
+}
+
+// TestCorruptLastRecordTruncated: the same flipped byte in the *last*
+// record leaves no intact data behind it — indistinguishable from a
+// torn write, so the log truncates it away and keeps working.
+func TestCorruptLastRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(SegmentHeaderSize)
+	for i := 0; i < 10; i++ {
+		if i < 9 {
+			off += recordHeaderSize + int64(len(payload(i)))
+		}
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off+recordHeaderSize] ^= 0xff // corrupt record 10's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	l2, err := Open(dir, Options{})
 	if err != nil {
-		t.Fatalf("reopen after mid-tail corruption: %v", err)
+		t.Fatalf("reopen after last-record corruption: %v", err)
 	}
 	defer l2.Close()
-	if got := l2.LastSeq(); got != 6 {
-		t.Fatalf("LastSeq after corruption at record 7 = %d, want 6", got)
+	if got := l2.LastSeq(); got != 9 {
+		t.Fatalf("LastSeq after corrupt final record = %d, want 9", got)
 	}
 	seqs, _ := collect(t, l2, 0)
-	if len(seqs) != 6 {
-		t.Fatalf("replay after corruption: %d records, want 6", len(seqs))
+	if len(seqs) != 9 {
+		t.Fatalf("replay after truncation: %d records, want 9", len(seqs))
+	}
+	if seq, err := l2.Append(payload(99)); err != nil || seq != 10 {
+		t.Fatalf("append after truncation: seq=%d err=%v", seq, err)
 	}
 }
 
@@ -419,14 +463,17 @@ func TestEnsureNextSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer l.Close()
-	l.EnsureNextSeq(100)
+	if err := l.EnsureNextSeq(100); err != nil {
+		t.Fatal(err)
+	}
 	seq, err := l.Append(payload(1))
 	if err != nil || seq != 100 {
 		t.Fatalf("append after EnsureNextSeq(100): seq=%d err=%v", seq, err)
 	}
 	// Lowering is a no-op.
-	l.EnsureNextSeq(5)
+	if err := l.EnsureNextSeq(5); err != nil {
+		t.Fatal(err)
+	}
 	if seq, _ := l.Append(payload(2)); seq != 101 {
 		t.Fatalf("EnsureNextSeq lowered the sequence: %d", seq)
 	}
@@ -434,6 +481,70 @@ func TestEnsureNextSeq(t *testing.T) {
 	seqs, _ := collect(t, l, 99)
 	if len(seqs) != 2 || seqs[0] != 100 {
 		t.Fatalf("replay after seq bump: %v", seqs)
+	}
+	l.Close()
+	// The bumped log reopens cleanly (the empty-log bump writes no gap).
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after seq bump: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 101 {
+		t.Fatalf("reopened LastSeq = %d, want 101", got)
+	}
+}
+
+// TestEnsureNextSeqGapRotates pins the restored-from-backup scenario:
+// the WAL holds records older than the snapshot's checkpoint sequence.
+// Bumping past them must not write a sequence gap into the active
+// segment (the next Open would reject it as corruption) — the log
+// rotates to a fresh segment at the new sequence and drops the sealed
+// segments, all of which the checkpoint covers.
+func TestEnsureNextSeqGapRotates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// The snapshot (elsewhere) covers sequence 49; the log tops out at 3.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.EnsureNextSeq(50); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l2.Append(payload(50))
+	if err != nil || seq != 50 {
+		t.Fatalf("append after gap bump: seq=%d err=%v", seq, err)
+	}
+	if _, _, segs := l2.Stats(); segs != 1 {
+		t.Fatalf("%d segments after gap bump, want 1 (covered records dropped)", segs)
+	}
+	l2.Close()
+
+	// The next boot accepts the log: no mid-stream gap was ever written.
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after gap bump: %v", err)
+	}
+	defer l3.Close()
+	if got := l3.LastSeq(); got != 50 {
+		t.Fatalf("LastSeq after gap bump reopen = %d, want 50", got)
+	}
+	seqs, _ := collect(t, l3, 0)
+	if len(seqs) != 1 || seqs[0] != 50 {
+		t.Fatalf("replay after gap bump: %v, want just [50]", seqs)
+	}
+	if seq, err := l3.Append(payload(51)); err != nil || seq != 51 {
+		t.Fatalf("append after reopen: seq=%d err=%v", seq, err)
 	}
 }
 
