@@ -12,6 +12,7 @@
 //	experiments -benchbuild results/bench_build.json [-scale 0.05] [-workers 1,2,8] [-minbuildpps 200000]
 //	experiments -benchsnapshot results/bench_snapshot.json [-scale 0.05]
 //	experiments -benchwal results/bench_wal.json [-scale 0.05] [-minwalpps 100000]
+//	experiments -benchshard results/bench_shard.json [-scale 0.05] [-shards 2,4] [-minshardspeedup 1.5]
 //
 // -workers accepts either one count (0 = all CPUs) or a comma list;
 // the bench runners sweep every listed count, so CI can probe serial
@@ -48,6 +49,15 @@
 // service-sized batch payloads, plus a cold open-and-replay of each
 // log — the read side of crash recovery. CI runs it at a small scale;
 // EXPERIMENTS.md records the full-scale figures.
+//
+// -benchshard measures the sharded build pipeline: the single-process
+// end-to-end baseline (CSV parse + serial build) against the
+// coordinated build over W loopback workers at each swept shard
+// count, with every merged tree verified against the serial one. The
+// records carry a cores field — speedups are capped by the machine's
+// CPU count, so -minshardspeedup floors belong on multi-core runners.
+// CI runs it at a small scale; EXPERIMENTS.md records the full-scale
+// figures.
 package main
 
 import (
@@ -78,10 +88,13 @@ func main() {
 		build   = flag.String("benchbuild", "", "write tree-build bench records (JSON) to this path (\"-\" = stdout) and exit")
 		snap    = flag.String("benchsnapshot", "", "write snapshot/external-build bench record (JSON) to this path (\"-\" = stdout) and exit")
 		walOut  = flag.String("benchwal", "", "write write-ahead-log bench records (JSON) to this path (\"-\" = stdout) and exit")
+		shardO  = flag.String("benchshard", "", "write sharded-build bench records (JSON) to this path (\"-\" = stdout) and exit")
+		shards  = flag.String("shards", "", "with -benchshard: comma list of worker counts to sweep (default 2,4,8; a shards=1 baseline row always runs)")
 
-		minBuildPPS = flag.Float64("minbuildpps", 0, "with -benchbuild: fail (exit 1) unless the best row reaches this many points/s — the CI regression floor")
-		minScanPPS  = flag.Float64("minscanpps", 0, "with -benchscan: fail (exit 1) unless the best cached row's β-search reaches this many points/s — the CI regression floor")
-		minWALPPS   = flag.Float64("minwalpps", 0, "with -benchwal: fail (exit 1) unless the best row's append throughput reaches this many points/s — the CI regression floor")
+		minBuildPPS     = flag.Float64("minbuildpps", 0, "with -benchbuild: fail (exit 1) unless the best row reaches this many points/s — the CI regression floor")
+		minScanPPS      = flag.Float64("minscanpps", 0, "with -benchscan: fail (exit 1) unless the best cached row's β-search reaches this many points/s — the CI regression floor")
+		minWALPPS       = flag.Float64("minwalpps", 0, "with -benchwal: fail (exit 1) unless the best row's append throughput reaches this many points/s — the CI regression floor")
+		minShardSpeedup = flag.Float64("minshardspeedup", 0, "with -benchshard: fail (exit 1) unless the best sharded row reaches this speedup over the single-process baseline — the CI regression floor (only meaningful on multi-core runners)")
 	)
 	flag.Parse()
 	workerList, err := parseWorkers(*workers)
@@ -134,8 +147,22 @@ func main() {
 		}
 		return
 	}
+	if *shardO != "" {
+		var shardList []int
+		if *shards != "" {
+			if shardList, err = parseWorkers(*shards); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+		}
+		if err := runBenchShard(*shardO, opt, shardList, *minShardSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan, -benchbuild, -benchsnapshot, -benchwal)")
+		fmt.Fprintln(os.Stderr, "experiments: -fig is required (or -list, -benchstats, -benchscan, -benchbuild, -benchsnapshot, -benchwal, -benchshard)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -386,6 +413,61 @@ func runBenchSnapshot(path string, opt experiments.Options) error {
 		rec.ExternalBuildSeconds, rec.SortBudgetBytes/1024, rec.SpillRuns, rec.SpillBytes/1024, rec.InMemoryBuildSeconds)
 	fmt.Printf("wrote the bench-snapshot record to %s\n", path)
 	return nil
+}
+
+// runBenchShard runs the sharded-build bench (single-process baseline
+// plus the coordinated build over loopback workers at the swept shard
+// counts), writes the JSON records to path or stdout, and enforces
+// the optional speedup regression floor on the best sharded row.
+func runBenchShard(path string, opt experiments.Options, shardList []int, minSpeedup float64) error {
+	records, err := experiments.BenchShard(opt, shardList)
+	if err != nil {
+		return err
+	}
+	checkFloor := func() error {
+		if minSpeedup <= 0 {
+			return nil
+		}
+		var best float64
+		for _, r := range records {
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		if best < minSpeedup {
+			return fmt.Errorf("benchshard: best sharded speedup %.2fx is below the regression floor %.2fx", best, minSpeedup)
+		}
+		fmt.Fprintf(os.Stderr, "benchshard: floor ok (%.2fx >= %.2fx)\n", best, minSpeedup)
+		return nil
+	}
+	if path == "-" {
+		if err := experiments.WriteBenchShard(os.Stdout, records); err != nil {
+			return err
+		}
+		return checkFloor()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBenchShard(f, records); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if r.Shards == 1 {
+			fmt.Printf("benchshard: baseline build=%.3fs (%.0f points/s) cells=%d cores=%d\n",
+				r.BuildSeconds, r.PointsPerSec, r.CellCount, r.Cores)
+		} else {
+			fmt.Printf("benchshard: shards=%d build=%.3fs (%.0f points/s, %.2fx) streamed=%d KB rounds=%d\n",
+				r.Shards, r.BuildSeconds, r.PointsPerSec, r.Speedup, r.BytesStreamed/1024, r.MergeRounds)
+		}
+	}
+	fmt.Printf("wrote %d bench-shard records to %s\n", len(records), path)
+	return checkFloor()
 }
 
 // runBenchWAL runs the write-ahead-log bench (append throughput per

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mrcc/internal/dataset"
+	"mrcc/internal/shard"
+	"mrcc/internal/treeio"
+)
+
+// startWorkers runs n in-process shard workers on loopback and returns
+// their addresses as a -worker-addrs value.
+func startWorkers(t *testing.T, n int) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		go shard.Serve(ctx, l)
+	}
+	return strings.Join(addrs, ",")
+}
+
+// writeCSV emits n pseudo-random d-dimensional rows in [0,1).
+func writeCSV(t *testing.T, d, n int, header bool) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var sb strings.Builder
+	if header {
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "axis%d", j)
+		}
+		sb.WriteByte('\n')
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%.6f", rng.Float64()*0.999)
+		}
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "points.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCoordinatorEndToEnd drives the full coordinator path against
+// real TCP workers: partition, build, merge, serial byte-identity
+// check, snapshot output, clustering.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	csv := writeCSV(t, 5, 4000, false)
+	out := filepath.Join(t.TempDir(), "tree.snap")
+	var stdout, stderr bytes.Buffer
+	code := realMain(context.Background(), []string{
+		"-input", csv, "-shards", "4",
+		"-worker-addrs", startWorkers(t, 2),
+		"-check-serial", "-out", out, "-cluster", "-stats",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"4000 points", "check-serial: ok", "saved ", "correlation clusters"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout.String())
+		}
+	}
+	// The -out snapshot is a valid warm-start source.
+	tr, err := treeio.LoadFileOptions(out, treeio.LoadOptions{TrustChecksums: true})
+	if err != nil {
+		t.Fatalf("reloading -out snapshot: %v", err)
+	}
+	if tr.Eta != 4000 || tr.D != 5 {
+		t.Fatalf("snapshot holds eta=%d d=%d", tr.Eta, tr.D)
+	}
+}
+
+// TestCoordinatorDomainAndHeader covers the raw-domain embedding path:
+// header CSV with values in [0,100) plus -dims/-domain, checked
+// against the serial reference.
+func TestCoordinatorDomainAndHeader(t *testing.T) {
+	d, n := 4, 1500
+	rng := rand.New(rand.NewSource(7))
+	var sb strings.Builder
+	sb.WriteString("a,b,c,d\n")
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%.4f", rng.Float64()*100)
+		}
+		sb.WriteByte('\n')
+	}
+	csv := filepath.Join(t.TempDir(), "raw.csv")
+	if err := os.WriteFile(csv, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := realMain(context.Background(), []string{
+		"-input", csv, "-header", "-shards", "3",
+		"-dims", "4", "-domain", "0:100",
+		"-worker-addrs", startWorkers(t, 3),
+		"-check-serial",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "check-serial: ok") {
+		t.Fatalf("no serial-equivalence confirmation:\n%s", stdout.String())
+	}
+}
+
+// TestCoordinatorPerShardInputs covers -inputs: one whole-file job per
+// CSV, serial reference concatenated in shard order.
+func TestCoordinatorPerShardInputs(t *testing.T) {
+	full, err := dataset.LoadCSVFile(writeCSV(t, 3, 900, false), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 3; i++ {
+		part := &dataset.Dataset{Dims: 3, Points: full.Points[i*300 : (i+1)*300]}
+		p := filepath.Join(dir, fmt.Sprintf("part%d.csv", i))
+		if err := part.SaveCSVFile(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	var stdout, stderr bytes.Buffer
+	code := realMain(context.Background(), []string{
+		"-inputs", strings.Join(paths, ","),
+		"-worker-addrs", startWorkers(t, 2),
+		"-check-serial",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "900 points") || !strings.Contains(stdout.String(), "check-serial: ok") {
+		t.Fatalf("unexpected output:\n%s", stdout.String())
+	}
+}
+
+// TestValidation pins exit code 2 for impossible flag combinations and
+// exit 1 for runtime failures.
+func TestValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                // no input source
+		{"-input", "a", "-inputs", "b"},   // two sources
+		{"-input", "a", "-H", "2"},        // H too small
+		{"-input", "a", "-domain", "0:1"}, // domain without dims
+		{"-snapshots", "a.snap", "-check-serial"}, // snapshots can't be checked
+		{"-input", "a", "-alpha", "2"},            // alpha out of range
+		{"-inputs", "a.csv", "-shards", "3"},      // shards without -input
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(context.Background(), args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+	// Runtime failure: nonexistent input with live workers.
+	var stdout, stderr bytes.Buffer
+	code := realMain(context.Background(), []string{
+		"-input", filepath.Join(t.TempDir(), "absent.csv"),
+		"-shards", "2", "-worker-addrs", startWorkers(t, 1),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("absent input: exit %d, want 1", code)
+	}
+}

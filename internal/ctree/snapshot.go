@@ -195,6 +195,70 @@ func NewFromColumns(d, h, eta int, c Columns) (*Tree, error) {
 	return t, nil
 }
 
+// NewFromColumnsTrusted assembles a Counting-tree from state columns
+// that are already known to be structurally sound — typically columns
+// whose per-column checksums just verified against a snapshot this
+// process (or a trusted peer) wrote. It performs only the checks that
+// keep the linkage rebuild memory-safe (column lengths agree, parents
+// precede children, levels chain, positions fit the dimension mask,
+// counts are positive) and skips what dominates NewFromColumns: the
+// per-row duplicate-child probe and the O(cells·d) cross-row pass that
+// re-derives every count and half-space counter from the children.
+// Columns that violate the skipped invariants assemble into a tree
+// whose counts are wrong in exactly the way the columns are — never
+// into out-of-bounds access. Use NewFromColumns for untrusted input.
+func NewFromColumnsTrusted(d, h, eta int, c Columns) (*Tree, error) {
+	if d < 1 || d > MaxDims {
+		return nil, fmt.Errorf("ctree: dimensionality %d outside [1, %d]", d, MaxDims)
+	}
+	if h < MinLevels || h > MaxLevels {
+		return nil, fmt.Errorf("ctree: H %d outside [%d, %d]", h, MinLevels, MaxLevels)
+	}
+	rows := len(c.Loc)
+	if rows < 1 {
+		return nil, fmt.Errorf("ctree: no column rows (the root sentinel is required)")
+	}
+	if rows-1 > math.MaxInt32 {
+		return nil, fmt.Errorf("ctree: %d cells exceed the int32 Ref range", rows-1)
+	}
+	if len(c.N) != rows || len(c.Used) != rows || len(c.Level) != rows || len(c.Parent) != rows {
+		return nil, fmt.Errorf("ctree: column lengths disagree: loc=%d n=%d used=%d level=%d parent=%d",
+			rows, len(c.N), len(c.Used), len(c.Level), len(c.Parent))
+	}
+	if len(c.P) != rows*d {
+		return nil, fmt.Errorf("ctree: half-space slab holds %d values, want rows*d = %d", len(c.P), rows*d)
+	}
+	if eta < 1 || eta > MaxPoints {
+		return nil, fmt.Errorf("ctree: point count %d outside [1, %d]", eta, MaxPoints)
+	}
+	if c.Loc[0] != 0 || c.N[0] != 0 || c.Used[0] || c.Level[0] != 0 || c.Parent[0] != NilRef {
+		return nil, fmt.Errorf("ctree: row 0 is not the root sentinel")
+	}
+	dmask := (uint64(1) << uint(d)) - 1
+	t := &Tree{D: d, H: h, Eta: eta, dmask: dmask}
+	t.adoptColumns(c, rows)
+	for r := 1; r < rows; r++ {
+		par := t.parent[r]
+		if par < 0 || int(par) >= r {
+			return nil, fmt.Errorf("ctree: cell %d has parent ref %d outside [0, %d)", r, par, r)
+		}
+		if int(t.level[r]) != int(t.level[par])+1 {
+			return nil, fmt.Errorf("ctree: cell %d at level %d under a level-%d parent", r, t.level[r], t.level[par])
+		}
+		if int(t.level[r]) > h-1 {
+			return nil, fmt.Errorf("ctree: cell %d at level %d, deeper than the stored maximum %d", r, t.level[r], h-1)
+		}
+		if t.loc[r]&^dmask != 0 {
+			return nil, fmt.Errorf("ctree: cell %d has position bits beyond axis %d", r, d-1)
+		}
+		if t.n[r] < 1 {
+			return nil, fmt.Errorf("ctree: cell %d stores a non-positive count %d (empty cells are never stored)", r, t.n[r])
+		}
+		t.linkChild(par, Ref(r))
+	}
+	return t, nil
+}
+
 // adoptColumns installs the state columns into the fresh tree, taking
 // the slices over when their capacities already match the canonical
 // arena sizing and copying into canonically sized slabs otherwise. The

@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestBenchShard pins the bench-shard record shape at a small scale:
+// a shards=1 baseline row, sharded rows with transfer/tournament
+// counters and speedups, identical cell counts everywhere (the
+// equivalence check inside BenchShard must have held for the records
+// to exist at all), and an honest cores field.
+func TestBenchShard(t *testing.T) {
+	records, err := BenchShard(Options{Scale: 0.05}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records, want baseline + W=2 + W=4", len(records))
+	}
+	base := records[0]
+	if base.Shards != 1 || base.Speedup != 0 || base.MergeRounds != 0 {
+		t.Errorf("baseline row malformed: %+v", base)
+	}
+	if base.Points != 5000 || base.Dims != 15 || base.Cores < 1 {
+		t.Errorf("baseline shape: %+v", base)
+	}
+	if base.BuildSeconds <= 0 || base.PointsPerSec <= 0 || base.CellCount <= 0 {
+		t.Errorf("baseline timings missing: %+v", base)
+	}
+	wantRounds := map[int]int{2: 1, 4: 2}
+	for _, rec := range records[1:] {
+		if rec.CellCount != base.CellCount {
+			t.Errorf("W=%d: cellCount %d, serial %d", rec.Shards, rec.CellCount, base.CellCount)
+		}
+		if rec.Speedup <= 0 || rec.BytesStreamed <= 0 {
+			t.Errorf("W=%d: counters missing: %+v", rec.Shards, rec)
+		}
+		if rec.MergeRounds != wantRounds[rec.Shards] {
+			t.Errorf("W=%d: %d merge rounds, want %d", rec.Shards, rec.MergeRounds, wantRounds[rec.Shards])
+		}
+	}
+}

@@ -40,6 +40,13 @@ type BenchSnapshotRecord struct {
 	SaveBytesPerSec float64 `json:"saveBytesPerSec"`
 	LoadSeconds     float64 `json:"loadSeconds"`
 	LoadBytesPerSec float64 `json:"loadBytesPerSec"`
+	// TrustedLoad* time the checksum-trusting load (treeio.LoadOptions
+	// TrustChecksums): per-column CRCs still verified, the structural
+	// revalidation of every cell skipped. TrustedLoadSpeedup is
+	// LoadSeconds over TrustedLoadSeconds.
+	TrustedLoadSeconds     float64 `json:"trustedLoadSeconds,omitempty"`
+	TrustedLoadBytesPerSec float64 `json:"trustedLoadBytesPerSec,omitempty"`
+	TrustedLoadSpeedup     float64 `json:"trustedLoadSpeedup,omitempty"`
 	// InMemoryBuildSeconds is the serial in-memory build, the baseline
 	// the external build is compared against.
 	InMemoryBuildSeconds float64 `json:"inMemoryBuildSeconds"`
@@ -109,6 +116,22 @@ func BenchSnapshot(opt Options) (BenchSnapshotRecord, error) {
 	if !ctree.Equal(tree, loaded) {
 		return rec, fmt.Errorf("benchsnapshot: loaded tree diverged from the original")
 	}
+	var trustedBest float64
+	for rep := 0; rep < reps; rep++ {
+		start = time.Now()
+		t, err := treeio.LoadFileOptions(snap, treeio.LoadOptions{TrustChecksums: true})
+		secs := time.Since(start).Seconds()
+		if err != nil {
+			return rec, fmt.Errorf("benchsnapshot: trusted load: %w", err)
+		}
+		if rep == 0 || secs < trustedBest {
+			trustedBest = secs
+		}
+		loaded = t
+	}
+	if !ctree.Equal(tree, loaded) {
+		return rec, fmt.Errorf("benchsnapshot: trusted-loaded tree diverged from the original")
+	}
 
 	streamBytes := int64(ds.Len()) * int64(ctree.ExternalRecordBytes(ds.Dims, core.DefaultH))
 	budget := uint64(streamBytes) / 10
@@ -127,24 +150,27 @@ func BenchSnapshot(opt Options) (BenchSnapshotRecord, error) {
 	spillRuns, spillBytes := ext.SpillStats()
 
 	return BenchSnapshotRecord{
-		Timestamp:            time.Now().UTC().Format(time.RFC3339),
-		Dataset:              "bench-15d-10c",
-		Scale:                opt.Scale,
-		Points:               ds.Len(),
-		Dims:                 ds.Dims,
-		H:                    core.DefaultH,
-		CellCount:            tree.CellCount(),
-		SnapshotBytes:        snapBytes,
-		SaveSeconds:          saveBest,
-		SaveBytesPerSec:      float64(snapBytes) / saveBest,
-		LoadSeconds:          loadBest,
-		LoadBytesPerSec:      float64(snapBytes) / loadBest,
-		InMemoryBuildSeconds: inMemSecs,
-		StreamBytes:          streamBytes,
-		SortBudgetBytes:      budget,
-		ExternalBuildSeconds: extSecs,
-		SpillRuns:            spillRuns,
-		SpillBytes:           spillBytes,
+		Timestamp:              time.Now().UTC().Format(time.RFC3339),
+		Dataset:                "bench-15d-10c",
+		Scale:                  opt.Scale,
+		Points:                 ds.Len(),
+		Dims:                   ds.Dims,
+		H:                      core.DefaultH,
+		CellCount:              tree.CellCount(),
+		SnapshotBytes:          snapBytes,
+		SaveSeconds:            saveBest,
+		SaveBytesPerSec:        float64(snapBytes) / saveBest,
+		LoadSeconds:            loadBest,
+		LoadBytesPerSec:        float64(snapBytes) / loadBest,
+		TrustedLoadSeconds:     trustedBest,
+		TrustedLoadBytesPerSec: float64(snapBytes) / trustedBest,
+		TrustedLoadSpeedup:     loadBest / trustedBest,
+		InMemoryBuildSeconds:   inMemSecs,
+		StreamBytes:            streamBytes,
+		SortBudgetBytes:        budget,
+		ExternalBuildSeconds:   extSecs,
+		SpillRuns:              spillRuns,
+		SpillBytes:             spillBytes,
 	}, nil
 }
 

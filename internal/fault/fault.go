@@ -58,6 +58,13 @@ const (
 	// checkpoint snapshot and truncating the WAL segments it covers —
 	// firing it models the crash window that must be double-apply-safe.
 	Checkpoint = "serve.checkpoint"
+	// ShardStream fires in a shard worker mid-way through streaming its
+	// snapshot back to the coordinator, after the size prefix went out —
+	// firing it models a worker dying with a half-sent tree on the wire.
+	ShardStream = "shard.stream"
+	// ShardMerge fires in the coordinator before each pairwise merge of
+	// the shard-tree tournament.
+	ShardMerge = "shard.merge"
 )
 
 // Error wraps an injected fault so the pipeline (and tests) can

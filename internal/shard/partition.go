@@ -1,0 +1,143 @@
+// Input partitioning. The coordinator cuts ONE large CSV into W
+// byte ranges aligned on record boundaries, so each worker seeks
+// straight to its range and parses only η/W points — the partitioning
+// cost is W short reads around the cut points, not a coordinator-side
+// scan of the whole file. (Per-worker input files and prebuilt
+// snapshots skip partitioning entirely: one job per path.)
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Range is a half-open byte range [Start, End) of an input file,
+// aligned so Start sits at the beginning of a record and End just
+// past the newline ending one.
+type Range struct {
+	Start, End int64
+}
+
+// PartitionCSV cuts the file into at most shards record-aligned byte
+// ranges of roughly equal size. A header row is excluded from every
+// range (workers always parse their range headerless). Empty ranges
+// are dropped, so fewer than shards ranges come back for tiny files.
+// The cut points are found by reading a few bytes at each candidate
+// offset — O(shards) seeks, independent of the file size.
+//
+// Records are assumed to be newline-terminated with no quoted embedded
+// newlines — true for the numeric CSVs this system ingests. A quoted
+// multi-line field would be split mid-record and fail the worker's
+// parse (an error, never a silently wrong tree).
+func PartitionCSV(path string, header bool, shards int) ([]Range, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: partition into %d shards", shards)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	var dataStart int64
+	if header {
+		if dataStart, err = nextRecord(f, 0, size); err != nil {
+			return nil, fmt.Errorf("shard: %s: locating the end of the header: %w", path, err)
+		}
+	}
+	if dataStart >= size {
+		return nil, fmt.Errorf("shard: %s holds no data rows", path)
+	}
+	ranges := make([]Range, 0, shards)
+	prev := dataStart
+	for i := 1; i <= shards; i++ {
+		var cut int64
+		if i == shards {
+			cut = size
+		} else {
+			// Candidate offset, advanced to the next record boundary.
+			candidate := dataStart + (size-dataStart)*int64(i)/int64(shards)
+			if candidate < prev {
+				candidate = prev
+			}
+			if cut, err = nextRecord(f, candidate, size); err != nil {
+				return nil, fmt.Errorf("shard: %s: aligning cut %d: %w", path, i, err)
+			}
+		}
+		if cut > prev {
+			ranges = append(ranges, Range{Start: prev, End: cut})
+			prev = cut
+		}
+	}
+	return ranges, nil
+}
+
+// nextRecord returns the offset of the first record starting at or
+// after off: off itself when it sits at a record start is NOT assumed —
+// the scan always advances past the next newline, which is what a cut
+// inside a record needs (callers pass offsets that are either 0 or
+// strictly inside the previous record's tail).
+func nextRecord(f *os.File, off, size int64) (int64, error) {
+	const chunk = 64 << 10
+	buf := make([]byte, chunk)
+	for off < size {
+		n, err := f.ReadAt(buf, off)
+		if n == 0 && err != nil {
+			if err == io.EOF {
+				return size, nil
+			}
+			return 0, err
+		}
+		if i := bytes.IndexByte(buf[:n], '\n'); i >= 0 {
+			return off + int64(i) + 1, nil
+		}
+		off += int64(n)
+	}
+	return size, nil
+}
+
+// JobsForCSV partitions one CSV into record-aligned byte ranges and
+// returns a job per non-empty range. See Job for the field contract;
+// shard indexes follow range order, so the merged result is identical
+// to a serial build over the file's row order.
+func JobsForCSV(path string, header bool, shards int, tpl Job) ([]Job, error) {
+	ranges, err := PartitionCSV(path, header, shards)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, len(ranges))
+	for i, rg := range ranges {
+		j := tpl
+		j.Shard = i
+		j.Kind = KindCSV
+		j.Path = path
+		j.Start, j.End = rg.Start, rg.End
+		j.Header = false // ranges never include the header line
+		jobs[i] = j
+	}
+	return jobs, nil
+}
+
+// JobsForPaths returns one whole-file job per input path (KindCSV with
+// header applying to every file, or KindSnapshot ignoring it).
+func JobsForPaths(paths []string, kind JobKind, header bool, tpl Job) ([]Job, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("shard: no input paths")
+	}
+	jobs := make([]Job, len(paths))
+	for i, p := range paths {
+		j := tpl
+		j.Shard = i
+		j.Kind = kind
+		j.Path = p
+		j.Header = header && kind == KindCSV
+		jobs[i] = j
+	}
+	return jobs, nil
+}

@@ -1,0 +1,407 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mrcc/internal/ctree"
+	"mrcc/internal/dataset"
+	"mrcc/internal/obs"
+	"mrcc/internal/treeio"
+)
+
+// startWorkers launches n in-process workers on loopback listeners and
+// returns their addresses. Real TCP, real framing — only the process
+// boundary is elided (cmd/mrcc-shard's TestMain covers that).
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Serve(ctx, l)
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+	return addrs
+}
+
+// writeTestCSV writes an n-point, d-axis dataset in [0,1) to a temp
+// CSV and returns its path and the parsed dataset.
+func writeTestCSV(t *testing.T, d, n int, seed int64, header bool) (string, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := dataset.New(d, n)
+	if header {
+		names := make([]string, d)
+		for j := range names {
+			names[j] = "axis" + strconv.Itoa(j)
+		}
+		ds.Names = names
+	}
+	for i := 0; i < n; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		ds.Append(p)
+	}
+	path := filepath.Join(t.TempDir(), "points.csv")
+	if err := ds.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, ds
+}
+
+// TestRunMatchesSerialByteIdentical is the acceptance pin: for W in
+// {1, 2, 4, 8} local workers the merged tree is ctree.Equal to the
+// single-process build AND re-saves byte-identically through treeio
+// (against the canonicalized serial tree — serial multi-chunk builds
+// have their own arena order).
+func TestRunMatchesSerialByteIdentical(t *testing.T) {
+	const d, n, h = 6, 9000, 4 // > one build chunk, so canonicalization is exercised
+	path, ds := writeTestCSV(t, d, n, 314, false)
+	serial, err := ctree.Build(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonSerial, err := ctree.Canonicalize(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := treeio.Save(&want, canonSerial); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		addrs := startWorkers(t, min(w, 3))
+		jobs, err := JobsForCSV(path, false, w, Job{H: h, Dims: d, Workers: 1})
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		col := obs.New(nil)
+		merged, stats, err := Run(context.Background(), Options{
+			Addrs:     addrs,
+			Jobs:      jobs,
+			Collector: col,
+		})
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if !ctree.Equal(serial, merged) {
+			t.Fatalf("w=%d: merged tree differs from serial build", w)
+		}
+		if merged.MemoryBytes() != serial.MemoryBytes() {
+			t.Fatalf("w=%d: MemoryBytes %d != serial %d", w, merged.MemoryBytes(), serial.MemoryBytes())
+		}
+		var got bytes.Buffer
+		if _, err := treeio.Save(&got, merged); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("w=%d: merged snapshot is not byte-identical to the serial one", w)
+		}
+		if stats.ShardsBuilt != len(jobs) || stats.Points != n {
+			t.Fatalf("w=%d: stats %+v, want %d shards / %d points", w, stats, len(jobs), n)
+		}
+		if stats.BytesStreamed <= 0 {
+			t.Fatalf("w=%d: no bytes accounted", w)
+		}
+		st := col.Finish()
+		if st.Counters.ShardsBuilt != int64(len(jobs)) || st.Counters.ShardBytesStreamed != stats.BytesStreamed ||
+			st.Counters.MergeRounds != int64(stats.MergeRounds) {
+			t.Fatalf("w=%d: collector counters %+v disagree with stats %+v", w, st.Counters, stats)
+		}
+	}
+}
+
+// TestRunWithHeaderAndDomain checks the two production wrinkles at
+// once: a CSV with a header row, values in domain units mapped by the
+// workers with the serving formula.
+func TestRunWithHeaderAndDomain(t *testing.T) {
+	const d, n, h = 4, 3000, 4
+	path, raw := writeTestCSV(t, d, n, 9, true)
+	// Scale the stored CSV into domain units [10, 30).
+	scaled := dataset.New(d, n)
+	scaled.Names = raw.Names
+	for _, p := range raw.Points {
+		q := make([]float64, d)
+		for j, v := range p {
+			q[j] = 10 + 20*v
+		}
+		scaled.Append(q)
+	}
+	if err := scaled.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	min := make([]float64, d)
+	max := make([]float64, d)
+	for j := range min {
+		min[j], max[j] = 10, 30
+	}
+	// The reference: normalize exactly like the workers, build serially.
+	ref := dataset.New(d, n)
+	for _, p := range scaled.Points {
+		q := make([]float64, d)
+		for j, v := range p {
+			q[j] = (v - min[j]) * (1 - normEps) / (max[j] - min[j])
+		}
+		ref.Append(q)
+	}
+	serial, err := ctree.Build(ref, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 2)
+	jobs, err := JobsForCSV(path, true, 3, Job{H: h, Dims: d, Min: min, Max: max, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _, err := Run(context.Background(), Options{Addrs: addrs, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctree.Equal(serial, merged) {
+		t.Fatal("domain-mapped sharded build differs from the serial reference")
+	}
+}
+
+// TestRunSnapshotJobs exercises KindSnapshot fan-in: prebuilt shard
+// snapshots merge into the same tree as building from the rows.
+func TestRunSnapshotJobs(t *testing.T) {
+	const d, n, h = 5, 4000, 4
+	_, ds := writeTestCSV(t, d, n, 55, false)
+	serial, err := ctree.Build(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths := make([]string, 4)
+	for i := range paths {
+		lo, hi := i*n/4, (i+1)*n/4
+		part := dataset.New(d, hi-lo)
+		for _, p := range ds.Points[lo:hi] {
+			part.Append(p)
+		}
+		tr, err := ctree.Build(part, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, "shard"+strconv.Itoa(i)+".snap")
+		if _, err := treeio.SaveFile(paths[i], tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrs := startWorkers(t, 2)
+	jobs, err := JobsForPaths(paths, KindSnapshot, false, Job{H: h, Dims: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, stats, err := Run(context.Background(), Options{Addrs: addrs, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctree.Equal(serial, merged) {
+		t.Fatal("snapshot fan-in differs from the serial build")
+	}
+	if stats.MergeRounds != 2 {
+		t.Fatalf("4 shards merged in %d rounds, want 2", stats.MergeRounds)
+	}
+}
+
+func TestRunSurfacesWorkerRefusal(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	jobs := []Job{{Kind: KindCSV, Path: filepath.Join(t.TempDir(), "absent.csv"), H: 4}}
+	_, _, err := Run(context.Background(), Options{Addrs: addrs, Jobs: jobs})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("got %v, want *WorkerError", err)
+	}
+	if we.Shard != 0 || we.Addr != addrs[0] {
+		t.Fatalf("error names shard %d addr %q, want 0 / %q", we.Shard, we.Addr, addrs[0])
+	}
+	if !strings.Contains(err.Error(), "absent.csv") {
+		t.Fatalf("error %q does not name the missing input", err)
+	}
+}
+
+func TestRunNoWorkers(t *testing.T) {
+	// A dead address fails fast with a typed error instead of hanging.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	path, _ := writeTestCSV(t, 3, 50, 1, false)
+	jobs, err := JobsForCSV(path, false, 2, Job{H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Run(context.Background(), Options{Addrs: []string{addr}, Jobs: jobs})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("got %v, want *WorkerError", err)
+	}
+}
+
+func TestPartitionCSVCoversEveryRow(t *testing.T) {
+	for _, header := range []bool{false, true} {
+		path, ds := writeTestCSV(t, 3, 997, 123, header)
+		for _, shards := range []int{1, 2, 5, 16} {
+			ranges, err := PartitionCSV(path, header, shards)
+			if err != nil {
+				t.Fatalf("header=%v shards=%d: %v", header, shards, err)
+			}
+			total := 0
+			var prevEnd int64 = -1
+			for i, rg := range ranges {
+				if rg.End <= rg.Start {
+					t.Fatalf("header=%v shards=%d: empty range %d", header, shards, i)
+				}
+				if prevEnd >= 0 && rg.Start != prevEnd {
+					t.Fatalf("header=%v shards=%d: gap before range %d", header, shards, i)
+				}
+				prevEnd = rg.End
+				part, err := readCSVShard(Job{Kind: KindCSV, Path: path, Start: rg.Start, End: rg.End})
+				if err != nil {
+					t.Fatalf("header=%v shards=%d range %d: %v", header, shards, i, err)
+				}
+				total += part.Len()
+			}
+			if total != ds.Len() {
+				t.Fatalf("header=%v shards=%d: ranges hold %d rows, file holds %d", header, shards, total, ds.Len())
+			}
+		}
+	}
+}
+
+func TestPartitionCSVTinyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.csv")
+	if err := os.WriteFile(path, []byte("0.1,0.2\n0.3,0.4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := PartitionCSV(path, false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) == 0 || len(ranges) > 2 {
+		t.Fatalf("2-row file partitioned into %d ranges", len(ranges))
+	}
+	if _, err := PartitionCSV(path, false, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PartitionCSV(empty, false, 2); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	good := Job{Kind: KindCSV, Path: "x.csv", H: 4}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Job{
+		{Kind: "tar", Path: "x", H: 4},
+		{Kind: KindCSV, H: 4},
+		{Kind: KindCSV, Path: "x", Start: 9, End: 3, H: 4},
+		{Kind: KindCSV, Path: "x", Min: []float64{0}, H: 4},
+		{Kind: KindCSV, Path: "x", Min: []float64{1}, Max: []float64{1}, H: 4},
+	}
+	for i, job := range cases {
+		if err := job.validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, job)
+		}
+	}
+}
+
+// TestRunRejectsCorruptStream points the coordinator at a rogue server
+// that frames garbage as a successful tree response: the checksummed
+// snapshot decode must refuse it with a typed shard failure — trusted
+// loading skips the structural pass, never the checksums.
+func TestRunRejectsCorruptStream(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := readJob(conn); err != nil {
+					return
+				}
+				// Magic + ok status + a plausible size prefix + garbage.
+				resp := append([]byte(treeMagic), statusOK)
+				body := bytes.Repeat([]byte{0xa5}, 4096)
+				var prefix [8]byte
+				prefix[0] = byte(len(body))
+				prefix[1] = byte(len(body) >> 8)
+				conn.Write(append(append(resp, prefix[:]...), body...))
+			}()
+		}
+	}()
+	path, _ := writeTestCSV(t, 3, 100, 2, false)
+	jobs, err := JobsForCSV(path, false, 1, Job{H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Run(context.Background(), Options{Addrs: []string{l.Addr().String()}, Jobs: jobs})
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("got %v, want *WorkerError", err)
+	}
+	var fe *treeio.FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("got %v, want a treeio.FormatError in the chain", err)
+	}
+}
+
+// TestRunContextCancel pins that a canceled coordinator returns
+// promptly with the cancellation, not a hang.
+func TestRunContextCancel(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	path, _ := writeTestCSV(t, 3, 200, 4, false)
+	jobs, err := JobsForCSV(path, false, 2, Job{H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = Run(ctx, Options{Addrs: addrs, Jobs: jobs})
+	if err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled in the chain", err)
+	}
+}

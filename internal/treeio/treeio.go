@@ -305,10 +305,34 @@ func syncDir(dir string) (err error) {
 	return err
 }
 
+// LoadOptions tunes how a snapshot is decoded.
+type LoadOptions struct {
+	// TrustChecksums skips the full structural revalidation of the
+	// decoded columns when every per-column CRC-32C matches: the
+	// columns are assembled with ctree.NewFromColumnsTrusted, which
+	// performs only the memory-safety checks (linkage bounds, level
+	// chains, position masks) and not the O(cells·d) cross-row count
+	// and half-space verification that dominates load time. Correct
+	// for snapshots this system wrote — Save serializes only valid
+	// trees, and the checksums prove the bytes are the ones it wrote —
+	// and for any peer trusted to do the same (a shard worker
+	// streaming its build result). Leave it false for snapshots from
+	// untrusted sources: trusted loading of a maliciously crafted,
+	// correctly-checksummed file can produce a tree with wrong counts,
+	// though never out-of-bounds access.
+	TrustChecksums bool
+}
+
 // LoadFile loads a snapshot from path (see Load for the validation
 // contract).
 func LoadFile(path string) (*ctree.Tree, error) {
 	t, _, _, err := LoadFileCheckpoint(path)
+	return t, err
+}
+
+// LoadFileOptions is LoadFile with decode options.
+func LoadFileOptions(path string, opt LoadOptions) (*ctree.Tree, error) {
+	t, _, _, err := LoadFileCheckpointOptions(path, opt)
 	return t, err
 }
 
@@ -317,6 +341,11 @@ func LoadFile(path string) (*ctree.Tree, error) {
 // carries a checkpoint trailer (FlagCheckpointSeq), and seq is the
 // write-ahead-log sequence it declares covered (0 when absent).
 func LoadFileCheckpoint(path string) (t *ctree.Tree, seq uint64, hasSeq bool, err error) {
+	return LoadFileCheckpointOptions(path, LoadOptions{})
+}
+
+// LoadFileCheckpointOptions is LoadFileCheckpoint with decode options.
+func LoadFileCheckpointOptions(path string, opt LoadOptions) (t *ctree.Tree, seq uint64, hasSeq bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, false, err
@@ -326,13 +355,19 @@ func LoadFileCheckpoint(path string) (t *ctree.Tree, seq uint64, hasSeq bool, er
 	if err != nil {
 		return nil, 0, false, err
 	}
-	return LoadCheckpoint(f, fi.Size())
+	return LoadCheckpointOptions(f, fi.Size(), opt)
 }
 
 // LoadBytes loads a snapshot from an in-memory byte slice (see Load
 // for the validation contract).
 func LoadBytes(b []byte) (*ctree.Tree, error) {
 	return Load(bytes.NewReader(b), int64(len(b)))
+}
+
+// LoadBytesOptions is LoadBytes with decode options.
+func LoadBytesOptions(b []byte, opt LoadOptions) (*ctree.Tree, error) {
+	t, _, _, err := LoadCheckpointOptions(bytes.NewReader(b), int64(len(b)), opt)
+	return t, err
 }
 
 // LoadBytesCheckpoint is LoadCheckpoint over an in-memory byte slice.
@@ -359,6 +394,12 @@ func Load(r io.Reader, size int64) (*ctree.Tree, error) {
 // checksummed like everything else; a damaged one is a *FormatError,
 // never a silently wrong recovery point.
 func LoadCheckpoint(r io.Reader, size int64) (*ctree.Tree, uint64, bool, error) {
+	return LoadCheckpointOptions(r, size, LoadOptions{})
+}
+
+// LoadCheckpointOptions is LoadCheckpoint with decode options (see
+// LoadOptions for the TrustChecksums contract).
+func LoadCheckpointOptions(r io.Reader, size int64, opt LoadOptions) (*ctree.Tree, uint64, bool, error) {
 	if size < HeaderSize {
 		return nil, 0, false, headerErr("%d bytes is shorter than the %d-byte header", size, HeaderSize)
 	}
@@ -427,7 +468,11 @@ func LoadCheckpoint(r io.Reader, size int64) (*ctree.Tree, uint64, bool, error) 
 		seq = binary.LittleEndian.Uint64(tr[0:8])
 	}
 
-	t, err := ctree.NewFromColumns(l.d, l.h, l.eta, c)
+	assemble := ctree.NewFromColumns
+	if opt.TrustChecksums {
+		assemble = ctree.NewFromColumnsTrusted
+	}
+	t, err := assemble(l.d, l.h, l.eta, c)
 	if err != nil {
 		return nil, 0, false, &FormatError{Section: "tree", Msg: err.Error(), Err: err}
 	}
